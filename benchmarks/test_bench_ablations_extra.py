@@ -1,0 +1,37 @@
+"""Benches for the §2.2 parallel-TCP and §3.7-footnote queueing ablations."""
+
+from conftest import run_once
+
+from repro.experiments.ablation_parallel_tcp import run as run_ptcp
+from repro.experiments.ablation_queueing import run as run_queueing
+
+
+def test_bench_ablation_queueing(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_queueing))
+    rows = {r[0]: r for r in result.rows}
+    udt = [r[1] for r in result.rows]
+    # §3.7 footnote: UDT's rate control barely notices queue provisioning...
+    assert min(udt) > 0.75 * max(udt)
+    # ...while an under-buffered DropTail cripples TCP.
+    small_q = rows["DropTail 0.05xBDP"]
+    big_q = rows["DropTail 1.00xBDP"]
+    assert small_q[2] < 0.5 * big_q[2]
+    assert small_q[1] > 2 * small_q[2]  # UDT >> TCP when under-buffered
+
+
+def test_bench_ablation_parallel_tcp(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_ptcp))
+    rows = {r[0]: r for r in result.rows}
+    udt = rows["UDT x1 (no tuning)"]
+    one = rows["parallel TCP x1"]
+    sixteen = rows["parallel TCP x16"]
+    # §2.2: a single TCP cannot use the lossy high-BDP path; striping
+    # wide recovers goodput — i.e. parallel TCP *needs tuning* ...
+    assert sixteen[1] > 2 * one[1]
+    # ... while one un-tuned UDT flow gets within striking distance of
+    # the hand-tuned 16-wide stripe (and far beyond the single TCP).
+    assert udt[1] > 0.6 * sixteen[1]
+    assert udt[1] > 2 * one[1]
+    # And striping is the less friendly citizen: the competing standard
+    # TCP keeps less next to 16 stripes than next to one UDT flow.
+    assert sixteen[2] < udt[2] * 1.5

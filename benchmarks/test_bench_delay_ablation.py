@@ -1,0 +1,19 @@
+"""§6 ablation — the abandoned delay-trend congestion detection."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import run_delay
+
+
+def test_bench_ablation_delay(benchmark, record_result):
+    result = record_result(run_once(benchmark, run_delay))
+    rows = {r[0]: r for r in result.rows}
+    loss_only = rows["loss-only (final UDT)"]
+    delay = rows["delay-trend"]
+    # §6: delay detection is friendlier to TCP ...
+    assert delay[2] >= loss_only[2] * 0.9
+    # ... at the cost of UDT throughput ("may lead to poor throughputs").
+    assert delay[1] <= loss_only[1] * 1.05
+    # Both remain functional transports (the delay variant barely —
+    # §6's "poor throughputs on certain systems", verbatim).
+    assert delay[1] > 0.3 and loss_only[1] > 5.0

@@ -1,0 +1,20 @@
+"""Figure 1 / §5.3 — streaming join: TCP's RTT bias cripples the join."""
+
+from conftest import run_once
+
+from repro.experiments.fig01_streaming_join import run
+
+
+def test_bench_fig01(benchmark, record_result):
+    result = record_result(run_once(benchmark, run))
+    rows = {r[0]: r for r in result.rows}
+    tcp_a, tcp_b = rows["TCP"][1], rows["TCP"][2]
+    udt_a, udt_b = rows["UDT"][1], rows["UDT"][2]
+    # TCP: severe RTT bias (paper: ~35-100 vs ~863 Mb/s).
+    assert tcp_b > 3 * tcp_a
+    # UDT: both streams near the source rate (paper: fair shares).
+    assert min(udt_a, udt_b) > 0.6 * max(udt_a, udt_b)
+    # The join: UDT's far exceeds TCP's (paper: 600-800 vs ~70-200 bound).
+    tcp_join_bound = rows["TCP"][4]
+    udt_join = rows["UDT"][3]
+    assert udt_join > 2 * tcp_join_bound

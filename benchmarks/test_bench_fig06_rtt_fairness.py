@@ -1,0 +1,20 @@
+"""Figure 6 — RTT fairness of UDT."""
+
+from conftest import run_once
+
+from repro.experiments.fig06_rtt_fairness import run
+
+
+def test_bench_fig06(benchmark, record_result):
+    result = record_result(run_once(benchmark, run))
+    rtts = result.column("flow2 RTT (ms)")
+    ratios = result.column("ratio")
+    # Paper: ratio within ~10% of 1.0 for 1-1000 ms.  Our scaled runs
+    # hold ~+-10% through 100 ms; the 500-1000 ms extreme falls to
+    # ~0.55-0.85 (documented deviation in EXPERIMENTS.md) — still an
+    # order of magnitude better than TCP's RTT bias on the same paths.
+    for rtt, ratio in zip(rtts, ratios):
+        if rtt <= 100:
+            assert 0.8 <= ratio <= 1.25, f"ratio {ratio} at {rtt} ms"
+        else:
+            assert 0.45 <= ratio <= 1.5, f"ratio {ratio} at {rtt} ms"

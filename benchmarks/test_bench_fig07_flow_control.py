@@ -1,0 +1,30 @@
+"""Figure 7 — the flow window damps oscillation and loss."""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.fig07_flow_control import run
+
+
+def _cv(values):
+    vals = [v for v in values if v > 0]
+    mean = sum(vals) / len(vals)
+    var = sum((v - mean) ** 2 for v in vals) / len(vals)
+    return math.sqrt(var) / mean
+
+
+def test_bench_fig07(benchmark, record_result):
+    result = record_result(run_once(benchmark, run))
+    with_fc = result.column("with FC")
+    without_fc = result.column("without FC")
+    steady = len(with_fc) // 3
+    # With flow control: near capacity in steady state despite the bursts.
+    assert sum(with_fc[steady:]) / len(with_fc[steady:]) > 700
+    # §3.2's core claim — the window prevents avalanche loss: without it,
+    # every competing burst costs an order of magnitude more
+    # retransmissions (the paper's "reduce loss" axis of Figure 7).
+    retx = result.retransmissions
+    assert retx["without"] > 10 * max(retx["with"], 1)
+    # And the no-window variant is never *smoother*.
+    assert _cv(without_fc[steady:]) > 0.5 * _cv(with_fc[steady:])

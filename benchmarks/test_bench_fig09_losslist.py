@@ -1,0 +1,18 @@
+"""Figure 9 — loss-list accesses finish in ~a microsecond."""
+
+from conftest import run_once
+
+from repro.experiments.fig09_losslist import run
+
+
+def test_bench_fig09(benchmark, record_result):
+    result = record_result(run_once(benchmark, run))
+    rows = {r[0]: r for r in result.rows}
+    rl = rows["range list (UDT)"]
+    naive = rows["naive per-packet"]
+    # Paper: ~1 us accesses on 2.4 GHz Xeons; allow interpreter headroom.
+    assert rl[1] < 50, f"range-list insert too slow: {rl[1]} us"
+    assert rl[3] < 50 and rl[4] < 50
+    # The ablation gap: the naive structure is orders of magnitude worse
+    # on insert (per-packet work) for the same loss trace.
+    assert naive[1] > 10 * rl[1]

@@ -1,0 +1,18 @@
+"""Figure 12 — three concurrent flows sharing one 1 Gb/s egress."""
+
+from conftest import run_once
+
+from repro.experiments.fig12_three_flows import run
+from repro.metrics import jain_index
+
+
+def test_bench_fig12(benchmark, record_result):
+    result = record_result(run_once(benchmark, run))
+    udt = result.column("UDT")
+    tcp = result.column("TCP")
+    # UDT: near-equal thirds of the egress (paper: ~325 Mb/s each).
+    assert jain_index(udt) > 0.9
+    assert sum(udt) > 700  # high aggregate utilisation
+    # TCP: strongly skewed toward the short path (paper: 754/155/27).
+    assert jain_index(tcp) < jain_index(udt)
+    assert max(tcp) > 2 * min(tcp)

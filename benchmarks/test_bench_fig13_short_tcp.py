@@ -1,0 +1,29 @@
+"""Figure 13 — short TCP transfers vs background UDT flows.
+
+The reproducible shape: the short-TCP aggregate declines as bulk UDT
+flows are added, yet the TCP train keeps making progress at every
+count.  The paper's *retention fraction* (~70%) does not reproduce —
+our substrate's friendliness at 110 ms matches our Figure 5 measurement
+(TCP keeps a small share at high BDP), and the published numbers are
+OCR-ambiguous (69->48 vs 690->480 Mb/s).  See EXPERIMENTS.md.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig13_short_tcp import run
+
+
+def test_bench_fig13(benchmark, record_result):
+    result = record_result(run_once(benchmark, run))
+    counts = result.column("UDT flows")
+    agg = result.column("TCP aggregate (Mb/s)")
+    base = agg[counts.index(0)]
+    assert base > 50, "short TCP train never got going"
+    # Adding bulk UDT background reduces the short-TCP aggregate...
+    assert agg[-1] < 0.8 * base
+    # ...but never starves it completely: every transfer keeps moving.
+    assert min(agg) > 0.5
+    # And the trend is broadly monotone (each point at most ~2x the
+    # previous — no resurgence artifacts).
+    for prev, cur in zip(agg, agg[1:]):
+        assert cur < max(prev * 2.0, base * 0.5)

@@ -1,0 +1,19 @@
+"""Figure 15 — throughput vs packet size peaks at the path MTU."""
+
+from conftest import run_once
+
+from repro.experiments.fig15_packet_size import run
+
+
+def test_bench_fig15(benchmark, record_result):
+    result = record_result(run_once(benchmark, run))
+    sizes = result.column("MSS (bytes)")
+    thr = result.column("throughput (Mb/s)")
+    by_size = dict(zip(sizes, thr))
+    # The optimum is at MSS = MTU = 1500 (paper's headline point).
+    assert by_size[1500] == max(thr)
+    # Below the MTU: monotone improvement with size (header/CPU overhead).
+    assert by_size[576] < by_size[1000] < by_size[1500]
+    # Above the MTU: fragmentation ("segmentation collapse").
+    assert by_size[2000] < by_size[1500]
+    assert by_size[6000] < by_size[1500]

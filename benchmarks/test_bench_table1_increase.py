@@ -1,0 +1,11 @@
+"""Table 1 — increase parameter computation."""
+
+from conftest import run_once
+
+from repro.experiments.table1_increase import run
+
+
+def test_bench_table1(benchmark, record_result):
+    result = record_result(run_once(benchmark, run))
+    # Exact match to every published band.
+    assert all(m == "yes" for m in result.column("match"))

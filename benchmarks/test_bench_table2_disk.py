@@ -1,0 +1,20 @@
+"""Table 2 — disk-disk transfers track the disk IO bottleneck."""
+
+from conftest import run_once
+
+from repro.experiments.table2_disk import PATHS, run
+from repro.hostmodel.disk import SITE_DISKS, disk_disk_limit
+
+
+def test_bench_table2(benchmark, record_result):
+    result = record_result(run_once(benchmark, run))
+    sites = ["Chicago", "Ottawa", "Amsterdam"]
+    for row in result.rows:
+        src = row[0]
+        for j, dst in enumerate(sites):
+            measured = row[1 + j]
+            rate, _ = PATHS[(src, dst)]
+            bound = disk_disk_limit(SITE_DISKS[src], SITE_DISKS[dst], rate) / 1e6
+            # "nearly the highest speed, limited by the disk IO bottleneck"
+            assert measured <= bound * 1.05, f"{src}->{dst} exceeded the bound"
+            assert measured >= bound * 0.55, f"{src}->{dst} far below the bound"

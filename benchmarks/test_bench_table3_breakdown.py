@@ -1,0 +1,20 @@
+"""Table 3 — per-function CPU breakdown of UDT."""
+
+from conftest import run_once
+
+from repro.experiments.table3_breakdown import run
+
+
+def test_bench_table3(benchmark, record_result):
+    result = record_result(run_once(benchmark, run))
+    for side, fn, paper, measured in result.rows:
+        # Dominant rows must land close to the published shares; small
+        # rows (loss processing on a clean path) may undershoot.
+        if paper >= 5.0:
+            assert abs(measured - paper) < 0.5 * paper, (
+                f"{side}/{fn}: measured {measured}%, paper {paper}%"
+            )
+    # UDP IO (memory copy) dominates both columns — the §6 lesson.
+    send_io = [r for r in result.rows if r[0] == "sending" and "UDP" in r[1]][0]
+    recv_io = [r for r in result.rows if r[0] == "receiving" and "UDP" in r[1]][0]
+    assert send_io[3] > 50 and recv_io[3] > 60

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Plugging a custom congestion-control algorithm into UDT.
+
+The paper's conclusion highlights that UDT is structured so "alternate
+... congestion control algorithms ... can be tested".  This example
+implements a toy delay-threshold controller ("DAIMD": back off when the
+measured RTT inflates past 1.5x its floor — the idea §6 warns is
+hazardous to rely on, reproduced here as an experiment) and races it
+against the native controller on the same path.
+
+Run:  python examples/custom_congestion_control.py
+"""
+
+from repro.sim.topology import path_topology
+from repro.udt import UdtConfig, start_udt_flow
+from repro.udt.cc import CongestionControl, LossEvent
+
+
+class DelayThresholdCC(CongestionControl):
+    """Additive increase; multiplicative decrease on loss OR delay rise."""
+
+    def __init__(self, config: UdtConfig):
+        super().__init__(config)
+        self.min_rtt = float("inf")
+        self.period = 1e-6
+        self.slow_start = True
+
+    def on_ack(self, ack_seq: int) -> None:
+        ctx = self.ctx
+        rtt = ctx.rtt
+        self.min_rtt = min(self.min_rtt, rtt)
+        if self.slow_start:
+            self.window = min(self.window + 16, self.max_cwnd)
+            if self.window >= self.max_cwnd:
+                self.slow_start = False
+                rate = ctx.recv_rate
+                self.period = 1.0 / rate if rate > 0 else self.config.syn
+            return
+        if ctx.recv_rate > 0:
+            self.window = ctx.recv_rate * (self.config.syn + rtt) + 16
+        if rtt > 1.5 * self.min_rtt:
+            self.period *= 1.02  # ease off as queueing builds
+        else:
+            syn = self.config.syn
+            self.period = (self.period * syn) / (self.period * 1.0 + syn)
+
+    def on_loss(self, loss: LossEvent) -> None:
+        if self.slow_start:
+            self.slow_start = False
+            rate = self.ctx.recv_rate
+            self.period = 1.0 / rate if rate > 0 else self.config.syn
+        self.period *= 1.125
+
+    def on_timeout(self) -> None:
+        self.period *= 1.25
+
+
+def main() -> None:
+    for name, cc_factory in (
+        ("UDT native", None),
+        ("DelayThresholdCC", DelayThresholdCC),
+    ):
+        top = path_topology(rate_bps=622e6, rtt=0.050)
+        cfg = UdtConfig(rcv_buffer_pkts=20000, snd_buffer_pkts=20000)
+        kwargs = {} if cc_factory is None else {"cc_factory": cc_factory}
+        flow = start_udt_flow(top.net, top.src, top.dst, config=cfg, **kwargs)
+        top.net.run(until=12.0)
+        thr = flow.throughput_bps(6.0, 12.0) / 1e6
+        retx = flow.sender.stats.retransmitted_pkts
+        print(f"{name:18s}: {thr:7.1f} Mb/s, {retx} retransmissions")
+    print("\nSwap in any CongestionControl subclass via cc_factory=...")
+
+
+if __name__ == "__main__":
+    main()

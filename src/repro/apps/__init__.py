@@ -1,0 +1,13 @@
+"""Applications on top of the transport APIs.
+
+* :mod:`repro.apps.bulk` — bulk sources and UDP blast cross-traffic.
+* :mod:`repro.apps.fileio` — sendfile/recvfile disk-to-disk transfers.
+* :mod:`repro.apps.streaming_join` — the §2.1/§5.3 window-based
+  streaming-join workload.
+"""
+
+from repro.apps.bulk import UdpBlast
+from repro.apps.fileio import DiskTransfer
+from repro.apps.streaming_join import StreamingJoin, run_streaming_join
+
+__all__ = ["UdpBlast", "DiskTransfer", "StreamingJoin", "run_streaming_join"]

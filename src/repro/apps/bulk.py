@@ -1,0 +1,68 @@
+"""Bulk / cross-traffic generators.
+
+:class:`UdpBlast` is the uncontrolled bursting UDP source the paper uses
+to create heavy congestion for Figure 8 ("the data is obtained by
+injecting a bursting UDP flow into the network"): it alternates ON bursts
+at a configurable rate with OFF silences, with no congestion control at
+all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.node import Host
+from repro.sim.packet import Address
+from repro.sim.topology import Network
+from repro.sim.udp import UdpEndpoint
+
+
+class UdpBlast:
+    """ON/OFF constant-rate UDP blaster (no reliability, no control)."""
+
+    def __init__(
+        self,
+        net: Network,
+        src: Host,
+        dst_addr: Address,
+        rate_bps: float,
+        pkt_size: int = 1500,
+        on_time: float = 0.1,
+        off_time: float = 0.0,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        if rate_bps <= 0 or pkt_size <= 28:
+            raise ValueError("need a positive rate and a >28B packet")
+        self.net = net
+        self.ep = UdpEndpoint(src)
+        self.dst = dst_addr
+        self.pkt_size = pkt_size
+        self.payload = pkt_size - 28
+        self.interval = pkt_size * 8.0 / rate_bps
+        self.on_time = on_time
+        self.off_time = off_time
+        self.stop_at = stop
+        self.pkts_sent = 0
+        self._burst_end = 0.0
+        net.sim.schedule_at(max(start, net.sim.now), self._start_burst)
+
+    def _start_burst(self) -> None:
+        if self.stop_at is not None and self.net.sim.now >= self.stop_at:
+            return
+        self._burst_end = self.net.sim.now + self.on_time
+        self._tick()
+
+    def _tick(self) -> None:
+        now = self.net.sim.now
+        if self.stop_at is not None and now >= self.stop_at:
+            return
+        if now >= self._burst_end:
+            if self.off_time > 0:
+                self.net.sim.schedule(self.off_time, self._start_burst)
+            else:
+                self._start_burst()
+            return
+        self.ep.sendto(("blast", self.pkts_sent), self.payload, self.dst)
+        self.pkts_sent += 1
+        self.net.sim.schedule(self.interval, self._tick)

@@ -1,0 +1,74 @@
+"""Command-line entry point: ``python -m repro`` / ``repro-udt``.
+
+    repro-udt list                  # show all experiments
+    repro-udt run fig02             # run one experiment, print its table
+    repro-udt run all               # run everything (slow)
+
+``REPRO_SCALE`` (default 0.3) scales experiment durations; set it to 1
+for the paper's published durations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import get_experiment, list_experiments
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-udt",
+        description="Reproduce the UDT (SC'04) evaluation tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("exp_id", help="experiment id from 'list', or 'all'")
+    runp.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        dest="overrides",
+        help="override a runner keyword, e.g. --set duration=60 "
+        "--set rate_bps=1e9 (repeatable; ignored with 'all')",
+    )
+    args = parser.parse_args(argv)
+
+    if args.cmd == "list":
+        for exp in list_experiments():
+            print(f"{exp.exp_id:26s} {exp.paper_artefact:16s} {exp.description}")
+        return 0
+
+    kwargs = {}
+    for item in getattr(args, "overrides", []):
+        if "=" not in item:
+            parser.error(f"--set expects KEY=VALUE, got {item!r}")
+        key, _, raw = item.partition("=")
+        try:
+            import ast
+
+            kwargs[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            kwargs[key] = raw
+
+    ids = (
+        [e.exp_id for e in list_experiments()]
+        if args.exp_id == "all"
+        else [args.exp_id]
+    )
+    for exp_id in ids:
+        exp = get_experiment(exp_id)
+        t0 = time.perf_counter()
+        result = exp.runner(**(kwargs if args.exp_id != "all" else {}))
+        dt = time.perf_counter() - t0
+        result.print()
+        print(f"[{exp_id} finished in {dt:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

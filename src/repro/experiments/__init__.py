@@ -1,0 +1,11 @@
+"""Experiment runners — one per table/figure of the paper, plus ablations.
+
+Every runner returns an :class:`~repro.experiments.common.ExperimentResult`
+whose rows mirror the series the paper plots.  ``python -m repro list``
+shows the registry; benchmarks under ``benchmarks/`` regenerate each
+artefact via these runners.
+"""
+
+from repro.experiments.registry import REGISTRY, get_experiment, list_experiments
+
+__all__ = ["REGISTRY", "get_experiment", "list_experiments"]

@@ -1,0 +1,29 @@
+"""End-host cost models: CPU cycle accounting and disk throughput.
+
+The paper's Figure 14 and Table 3 were measured with Intel VTune on dual
+2.4 GHz Xeons; Table 2 on the testbeds' local disks.  We replace the
+hardware with explicit models: every protocol operation charges cycles
+from a per-operation cost table (calibrated so the reference workload
+reproduces the published ratios), and disks are rate-limited pipes.
+"""
+
+from repro.hostmodel.cpu import (
+    CostModel,
+    CpuMeter,
+    TCP_RECEIVER_COSTS,
+    TCP_SENDER_COSTS,
+    UDT_RECEIVER_COSTS,
+    UDT_SENDER_COSTS,
+)
+from repro.hostmodel.disk import DiskModel, SITE_DISKS
+
+__all__ = [
+    "CostModel",
+    "CpuMeter",
+    "UDT_SENDER_COSTS",
+    "UDT_RECEIVER_COSTS",
+    "TCP_SENDER_COSTS",
+    "TCP_RECEIVER_COSTS",
+    "DiskModel",
+    "SITE_DISKS",
+]

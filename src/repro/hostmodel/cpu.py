@@ -1,0 +1,216 @@
+"""CPU cycle accounting (Figure 14, Table 3).
+
+Every protocol operation charges cycles against a :class:`CostModel`.
+Cost constants are *calibrated*, not measured: they are chosen so that the
+paper's reference workload — a single memory-memory flow at ~970 Mb/s on a
+dual 2.4 GHz Xeon — reproduces the published utilisation (UDT 43 % send /
+52 % receive, TCP 33 % / 35 %) and the Table 3 per-function ratios.  The
+*accounting structure* is the real content: utilisation is re-derived
+from packet/byte counts, so a different workload (slower link, bigger
+packets, heavy loss) moves the numbers the way real hosts would.
+
+Memory copy is folded into the per-byte components of UDP write/read —
+§6's Table 3 discussion identifies copying as the dominant cost, which is
+why the per-byte coefficients dwarf everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+#: Dual 2.4 GHz Xeon (the paper's end hosts), cycles per second.
+DEFAULT_CPU_HZ = 4.8e9
+
+#: Reference workload used for calibration (§5.1: 970 Mb/s, MSS 1500).
+_REF_PPS = 970e6 / (1500 * 8)  # ~80.8k data packets/s
+_REF_PAYLOAD = 1456
+
+
+def _split(total_pct: float, share_pct: float) -> float:
+    """Cycles/packet for a category given its share of total utilisation."""
+    return DEFAULT_CPU_HZ * (total_pct / 100.0) * (share_pct / 100.0) / _REF_PPS
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycles charged per operation.  ``*_pkt`` per call, ``*_byte`` per byte."""
+
+    name: str
+    udp_io_pkt: float = 0.0  # UDP send/recv syscall fixed cost
+    udp_io_byte: float = 0.0  # memory copy / bus traffic per byte
+    timing: float = 0.0  # high-precision timer work per data packet
+    codec_pkt: float = 0.0  # packing/unpacking headers per packet
+    measurement: float = 0.0  # bandwidth/RTT/arrival-speed per packet
+    ctrl: float = 0.0  # processing one received control packet
+    ctrl_send: float = 0.0  # generating one control packet
+    loss_event: float = 0.0  # loss-list access per loss event
+    app: float = 0.0  # application interaction per packet
+    other: float = 0.0  # locks, context switches, bookkeeping
+
+
+# ---------------------------------------------------------------------------
+# Calibrated models.  Table 3 shares (sending / receiving columns); the OCR
+# of the paper drops leading digits on some rows — EXPERIMENTS.md records
+# the reconstruction (each column sums to 100).
+# ---------------------------------------------------------------------------
+UDT_SENDER_SHARES = {
+    "udp_io": 66.7,
+    "timing": 14.9,
+    "codec": 5.9,
+    "ctrl": 5.1,
+    "app": 3.5,
+    "other": 3.9,
+}
+
+UDT_RECEIVER_SHARES = {
+    "udp_io": 79.1,
+    "measurement": 2.7,
+    "codec": 10.9,
+    "loss": 1.6,
+    "timing": 0.4,
+    "other": 5.3,
+}
+
+#: Figure 14 utilisation at the reference workload, percent.
+UDT_SEND_UTIL = 43.0
+UDT_RECV_UTIL = 52.0
+TCP_SEND_UTIL = 33.0
+TCP_RECV_UTIL = 35.0
+
+
+def _udt_sender_costs() -> CostModel:
+    u = UDT_SEND_UTIL
+    io = _split(u, UDT_SENDER_SHARES["udp_io"])
+    return CostModel(
+        name="udt-sender",
+        # ~12% of the IO cost is fixed syscall overhead, the rest copies.
+        udp_io_pkt=io * 0.12,
+        udp_io_byte=io * 0.88 / _REF_PAYLOAD,
+        timing=_split(u, UDT_SENDER_SHARES["timing"]),
+        codec_pkt=_split(u, UDT_SENDER_SHARES["codec"]),
+        # control packets arrive once per SYN (~100/s), not per data
+        # packet: scale the per-event cost up by the data/control ratio.
+        ctrl=_split(u, UDT_SENDER_SHARES["ctrl"]) * (_REF_PPS / 100.0),
+        app=_split(u, UDT_SENDER_SHARES["app"]),
+        other=_split(u, UDT_SENDER_SHARES["other"]),
+    )
+
+
+def _udt_receiver_costs() -> CostModel:
+    u = UDT_RECV_UTIL
+    io = _split(u, UDT_RECEIVER_SHARES["udp_io"])
+    return CostModel(
+        name="udt-receiver",
+        udp_io_pkt=io * 0.12,
+        udp_io_byte=io * 0.88 / _REF_PAYLOAD,
+        timing=_split(u, UDT_RECEIVER_SHARES["timing"]),
+        codec_pkt=_split(u, UDT_RECEIVER_SHARES["codec"]),
+        measurement=_split(u, UDT_RECEIVER_SHARES["measurement"]),
+        # at the reference workload loss is rare; spread the published
+        # share over per-packet loss-list checks plus per-event accesses.
+        loss_event=_split(u, UDT_RECEIVER_SHARES["loss"]),
+        ctrl_send=_split(u, UDT_RECEIVER_SHARES["other"]) * 0.2 * (_REF_PPS / 100.0),
+        other=_split(u, UDT_RECEIVER_SHARES["other"]) * 0.8,
+    )
+
+
+def _tcp_costs(util: float, name: str) -> CostModel:
+    # Kernel TCP: virtually everything is the copy + checksum path.
+    io = DEFAULT_CPU_HZ * (util / 100.0) / _REF_PPS
+    return CostModel(
+        name=name,
+        udp_io_pkt=io * 0.10,
+        udp_io_byte=io * 0.85 / _REF_PAYLOAD,
+        ctrl=io * 0.05,  # per-ACK processing (ACK per packet in TCP)
+    )
+
+
+UDT_SENDER_COSTS = _udt_sender_costs()
+UDT_RECEIVER_COSTS = _udt_receiver_costs()
+TCP_SENDER_COSTS = _tcp_costs(TCP_SEND_UTIL, "tcp-sender")
+TCP_RECEIVER_COSTS = _tcp_costs(TCP_RECV_UTIL, "tcp-receiver")
+
+
+class CpuMeter:
+    """Accumulates cycles by category for one protocol endpoint.
+
+    The protocol cores call the ``on_*`` hooks; experiments read
+    :meth:`utilization` and :meth:`breakdown`.
+    """
+
+    def __init__(
+        self,
+        costs: CostModel,
+        clock: Callable[[], float],
+        cpu_hz: float = DEFAULT_CPU_HZ,
+    ):
+        self.costs = costs
+        self.clock = clock
+        self.cpu_hz = cpu_hz
+        self.cycles: Dict[str, float] = {
+            "udp_io": 0.0,
+            "timing": 0.0,
+            "codec": 0.0,
+            "measurement": 0.0,
+            "ctrl": 0.0,
+            "ctrl_send": 0.0,
+            "loss": 0.0,
+            "app": 0.0,
+            "other": 0.0,
+        }
+        self.start_time = clock()
+
+    # -- hooks called by protocol cores ---------------------------------
+    def on_data_sent(self, size: int) -> None:
+        c = self.costs
+        cy = self.cycles
+        cy["udp_io"] += c.udp_io_pkt + c.udp_io_byte * size
+        cy["timing"] += c.timing
+        cy["codec"] += c.codec_pkt
+        cy["app"] += c.app
+        cy["other"] += c.other
+
+    def on_data_received(self, size: int) -> None:
+        c = self.costs
+        cy = self.cycles
+        cy["udp_io"] += c.udp_io_pkt + c.udp_io_byte * size
+        cy["timing"] += c.timing
+        cy["codec"] += c.codec_pkt
+        cy["measurement"] += c.measurement
+        cy["app"] += c.app
+        cy["other"] += c.other
+
+    def on_ctrl(self, kind: str) -> None:
+        self.cycles["ctrl"] += self.costs.ctrl
+
+    def on_ctrl_sent(self, size: int) -> None:
+        self.cycles["ctrl_send"] += self.costs.ctrl_send
+
+    def on_loss_processing(self, events: int = 1) -> None:
+        self.cycles["loss"] += self.costs.loss_event * events
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.cycles.values())
+
+    def utilization(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Fraction of CPU capacity consumed over [t0, t1] (whole run by
+        default).  Values above 1.0 mean the modelled host would saturate
+        — the §4.1 packet-loss-avalanche regime."""
+        if t0 is None:
+            t0 = self.start_time
+        if t1 is None:
+            t1 = self.clock()
+        dt = t1 - t0
+        if dt <= 0:
+            return 0.0
+        return self.total_cycles / (self.cpu_hz * dt)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fraction of consumed cycles per category (Table 3's columns)."""
+        total = self.total_cycles
+        if total == 0:
+            return {k: 0.0 for k in self.cycles}
+        return {k: v / total for k, v in self.cycles.items()}

@@ -1,0 +1,53 @@
+"""Disk throughput model (Table 2).
+
+The paper's §5.3 finding is that UDT moves disk-to-disk data "at nearly
+the highest speed, which is limited by the disk IO bottleneck": effective
+throughput is the minimum of the network path and the two disks.  Disks
+are modelled as rate-limited pipes with a small seek/startup latency.
+
+Per-site rates: the archived paper text is OCR-damaged in Table 2, so the
+values below are era-plausible reconstructions (2004 SCSI arrays, reads
+slightly faster than writes) chosen under the constraint the paper states
+— every disk is slower than its Gb/s network path.  EXPERIMENTS.md
+records the substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Sequential-access disk with distinct read/write rates (bits/s)."""
+
+    name: str
+    read_bps: float
+    write_bps: float
+    startup_latency: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.read_bps <= 0 or self.write_bps <= 0:
+            raise ValueError("disk rates must be positive")
+
+    def read_time(self, nbytes: int) -> float:
+        return self.startup_latency + nbytes * 8.0 / self.read_bps
+
+    def write_time(self, nbytes: int) -> float:
+        return self.startup_latency + nbytes * 8.0 / self.write_bps
+
+
+#: Testbed hosts (§5): dual-Xeon Linux boxes at each site.
+SITE_DISKS: Dict[str, DiskModel] = {
+    "Chicago": DiskModel("Chicago", read_bps=560e6, write_bps=450e6),
+    "Ottawa": DiskModel("Ottawa", read_bps=600e6, write_bps=550e6),
+    "Amsterdam": DiskModel("Amsterdam", read_bps=540e6, write_bps=480e6),
+}
+
+
+def disk_disk_limit(src: DiskModel, dst: DiskModel, network_bps: float) -> float:
+    """Upper bound for a disk-to-disk transfer (§5.3's pipeline min)."""
+    if network_bps <= 0:
+        raise ValueError("network rate must be positive")
+    return min(src.read_bps, dst.write_bps, network_bps)

@@ -1,0 +1,13 @@
+"""Run the UDT protocol core over real UDP sockets (loopback-scale).
+
+The same sans-IO :class:`~repro.udt.core.UdtCore` that drives all
+simulations binds here to the genuine BSD sockets API, a receive thread,
+and a high-precision hybrid sleep/spin timer thread (§4.5) — so the
+implementation techniques of §4 run for real, at the rates a Python
+process on loopback can sustain.
+"""
+
+from repro.live.clock import SpinClock, wait_until
+from repro.live.transport import LiveUdtEndpoint, loopback_transfer
+
+__all__ = ["SpinClock", "wait_until", "LiveUdtEndpoint", "loopback_transfer"]

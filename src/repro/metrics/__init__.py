@@ -1,0 +1,15 @@
+"""Evaluation metrics used throughout the paper's experiment section."""
+
+from repro.metrics.fairness import (
+    friendliness_index,
+    jain_index,
+    rtt_fairness_ratio,
+    stability_index,
+)
+
+__all__ = [
+    "jain_index",
+    "stability_index",
+    "friendliness_index",
+    "rtt_fairness_ratio",
+]

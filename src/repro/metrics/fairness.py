@@ -1,0 +1,85 @@
+"""Fairness, stability and friendliness indices (§3.4, §3.6, §3.7).
+
+All three published definitions, implemented verbatim:
+
+* Jain's fairness index over per-flow average throughputs
+  (``(sum x)^2 / (n * sum x^2)``; 1.0 is ideal).
+* The stability index of §3.6: mean over flows of the per-flow
+  sample standard deviation normalised by the flow's mean throughput
+  (0 is ideal).
+* The TCP friendliness index of §3.7: aggregate TCP throughput with m UDT
+  flows present, relative to the ``n/(m+n)`` fair share measured from an
+  all-TCP run (1 is ideal, <1 means UDT overruns TCP).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def jain_index(throughputs: Sequence[float]) -> float:
+    """Jain's fairness index; 1/n (worst) .. 1.0 (equal share)."""
+    xs = list(throughputs)
+    if not xs:
+        raise ValueError("need at least one throughput")
+    if any(x < 0 for x in xs):
+        raise ValueError("throughputs must be non-negative")
+    total = sum(xs)
+    if total == 0:
+        return 1.0  # all-zero: degenerately equal
+    return total * total / (len(xs) * sum(x * x for x in xs))
+
+
+def stability_index(samples: Sequence[Sequence[float]]) -> float:
+    """§3.6:  S = (1/n) * sum_i [ sqrt( (1/(m-1)) sum_k (x_i(k)-xbar_i)^2 ) / xbar_i ]
+
+    ``samples[i]`` is flow i's throughput time series.  Smaller is more
+    stable; 0 is ideal.
+    """
+    if not samples:
+        raise ValueError("need at least one flow")
+    acc = 0.0
+    for series in samples:
+        m = len(series)
+        if m < 2:
+            raise ValueError("need at least two samples per flow")
+        mean = sum(series) / m
+        if mean == 0:
+            continue  # a starved flow contributes no stability penalty
+        var = sum((x - mean) ** 2 for x in series) / (m - 1)
+        acc += math.sqrt(var) / mean
+    return acc / len(samples)
+
+
+def friendliness_index(
+    tcp_with_udt: Sequence[float],
+    tcp_alone: Sequence[float],
+    n_udt: int,
+) -> float:
+    """§3.7:  T = (sum_i x_i) / ( (n/(m+n)) * sum_i y_i )
+
+    ``tcp_with_udt`` are the n TCP throughputs while m UDT flows run;
+    ``tcp_alone`` are the m+n throughputs of the all-TCP control run.
+    T = 1 ideal; T > 1 UDT too friendly; T < 1 UDT overruns TCP.
+    """
+    n = len(tcp_with_udt)
+    if n == 0 or n_udt < 0:
+        raise ValueError("need TCP flows and a non-negative UDT count")
+    if len(tcp_alone) != n + n_udt:
+        raise ValueError(
+            "control run must have m+n flows "
+            f"(got {len(tcp_alone)}, expected {n + n_udt})"
+        )
+    fair_share = sum(tcp_alone) * (n / (n + n_udt))
+    if fair_share == 0:
+        raise ValueError("control run carried no traffic")
+    return sum(tcp_with_udt) / fair_share
+
+
+def rtt_fairness_ratio(flow_long: float, flow_ref: float) -> float:
+    """Figure 6's measure: throughput of the variable-RTT flow over the
+    100 ms reference flow.  1.0 is perfect RTT independence."""
+    if flow_ref <= 0:
+        raise ValueError("reference flow carried no traffic")
+    return flow_long / flow_ref

@@ -1,0 +1,5 @@
+"""SABUL — UDT's predecessor (§2.3), kept as an evaluation baseline."""
+
+from repro.sabul.protocol import SabulCC, start_sabul_flow
+
+__all__ = ["SabulCC", "start_sabul_flow"]

@@ -1,0 +1,127 @@
+"""SABUL's TCP control channel, and why UDT removed it (§2.3, §6).
+
+SABUL carried ACK/NAK over a TCP connection.  §6: "TCP's own reliability
+and congestion control mechanism can cause delay of control information
+... The in-order delivery of control packets is unnecessary ... During
+congestion, this delay can even be longer due to TCP's congestion
+control."
+
+:class:`ReliableInOrderChannel` models that behaviour precisely: control
+messages traverse the same (congested) network path, and the channel adds
+TCP semantics on top — any dropped control message must be retransmitted
+after an RTO-like delay, and every *later* message is head-of-line
+blocked behind it.  During data-plane congestion (exactly when NAKs are
+most urgent) control loss probability rises and feedback stalls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+
+#: TCP-like minimum retransmission timeout for the control connection.
+CONTROL_RTO = 0.2
+
+
+class ReliableInOrderChannel:
+    """In-order, reliable delivery with loss-triggered HOL blocking.
+
+    ``send(msg)`` enqueues; messages are released to ``deliver`` in order
+    after the underlying one-way ``delay``; each message is independently
+    "lost" with ``loss_probability()`` and then re-sent after an RTO,
+    blocking everything behind it — the §6 failure mode.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        deliver: Callable[[Any], None],
+        delay: float,
+        loss_probability: Callable[[], float],
+        rto: float = CONTROL_RTO,
+    ):
+        self.sim = sim
+        self.deliver = deliver
+        self.delay = delay
+        self.loss_probability = loss_probability
+        self.rto = rto
+        self._queue: deque[Any] = deque()
+        self._busy = False
+        self.messages_sent = 0
+        self.retransmissions = 0
+        self.hol_blocked_time = 0.0
+
+    def send(self, msg: Any) -> None:
+        self.messages_sent += 1
+        self._queue.append(msg)
+        if not self._busy:
+            self._service()
+
+    def _service(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        msg = self._queue[0]
+        if self.sim.rng.random() < self.loss_probability():
+            # Lost on the wire: TCP retries after an RTO; everything
+            # queued behind this message waits (head-of-line blocking).
+            self.retransmissions += 1
+            self.hol_blocked_time += self.rto
+            self.sim.schedule(self.rto, self._service)
+            return
+        self._queue.popleft()
+        self.sim.schedule(self.delay, self.deliver, msg)
+        self.sim.schedule(0.0, self._service)
+
+
+def attach_tcp_control_channel(flow, rto: float = CONTROL_RTO) -> dict:
+    """Route a simulated UdtFlow's control traffic through TCP semantics.
+
+    Returns the two channels (receiver->sender carries ACK/NAK — the
+    critical direction; sender->receiver carries ACK2) for inspection.
+    The loss probability tracks the bottleneck queue occupancy, so
+    control suffers exactly when the data path is congested.
+    """
+    net = flow.net
+    sim = net.sim
+    # Find the most-occupied egress the flow's data crosses: use the
+    # busiest link queue as the congestion signal.
+    links = list(net.links.values())
+
+    def congestion_loss() -> float:
+        worst = 0.0
+        for link in links:
+            cap = link.queue.capacity_pkts
+            if cap:
+                worst = max(worst, len(link.queue) / cap)
+        # near-full queues drop control packets too
+        return max(0.0, (worst - 0.5) * 1.6)
+
+    delay = flow.sender.rtt / 2 if flow.sender.rtt else 0.05
+
+    channels = {}
+    for side, core, peer in (
+        ("rcv->snd", flow.receiver, flow.sender),
+        ("snd->rcv", flow.sender, flow.receiver),
+    ):
+        original = core._transmit
+        chan = ReliableInOrderChannel(
+            sim,
+            deliver=lambda m, p=peer: p.on_datagram(m, m.wire_size),
+            delay=delay,
+            loss_probability=congestion_loss,
+            rto=rto,
+        )
+        channels[side] = chan
+
+        def transmit(msg, size, _orig=original, _chan=chan):
+            if msg.type_name == "data":
+                _orig(msg, size)  # data still rides UDP
+            else:
+                _chan.send(msg)  # control rides "TCP"
+
+        core._transmit = transmit
+    return channels

@@ -1,0 +1,110 @@
+"""SABUL: Simple Available Bandwidth Utilization Library (§2.3).
+
+The predecessor protocol UDT replaced.  Differences the paper calls out:
+
+* **MIMD rate control** — the packet-sending period is tuned
+  multiplicatively from the current sending rate (no bandwidth
+  estimation), with the constant SYN control interval SABUL introduced to
+  avoid RTT bias.  MIMD converges to efficiency as fast as UDT but "also
+  converges slowly" to fairness (§5.2) — the property the fairness
+  ablation benchmarks demonstrate.
+* **Static flow window** — no dynamic ``AS * (SYN + RTT)`` window, so
+  loss comes in bigger bursts and per-flow throughput oscillates more.
+
+SABUL originally ran its control channel over TCP; UDT removed that
+(§6 "Using TCP in another transport protocol should be avoided").  The
+congestion-relevant behaviour — what the benchmarks compare — is the
+control law, which is reproduced exactly; control messages here travel
+over the same UDP substrate UDT uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.node import Host
+from repro.sim.topology import Network
+from repro.udt.cc import CongestionControl, LossEvent
+from repro.udt.params import UdtConfig
+from repro.udt.seqno import seq_cmp
+from repro.udt.sim_adapter import UdtFlow
+
+#: MIMD parameters: rate x(1+1/10) per loss-free SYN, x8/9 on loss.
+INCREASE_FACTOR = 1.10
+DECREASE_FACTOR = 1.125
+
+
+class SabulCC(CongestionControl):
+    """SABUL's MIMD rate controller with a static window."""
+
+    def __init__(self, config: UdtConfig, static_window: int = 25600):
+        super().__init__(config)
+        self.static_window = static_window
+        self.window = float(static_window)
+        self.last_rc_time = 0.0
+        self.last_dec_seq = -1
+        self.period = 1e-6
+        self.slow_start = True  # ramp like UDT until the first loss
+        self.increases = 0
+        self.decreases = 0
+
+    def init(self, ctx) -> None:
+        super().init(ctx)
+        self.last_rc_time = ctx.now()
+
+    def on_ack(self, ack_seq: int) -> None:
+        ctx = self.ctx
+        assert ctx is not None
+        now = ctx.now()
+        if now - self.last_rc_time < self.config.syn - 1e-9:
+            return
+        self.last_rc_time = now
+        self.window = float(self.static_window)  # never dynamic
+        if self.slow_start:
+            return  # window-limited ramp until first loss
+        # MIMD increase: the faster we send, the bigger the step.
+        self.period /= INCREASE_FACTOR
+        self.period = max(self.period, 1e-7)
+        self.increases += 1
+
+    def on_loss(self, loss: LossEvent) -> None:
+        ctx = self.ctx
+        assert ctx is not None
+        if self.slow_start:
+            self.slow_start = False
+            rate = ctx.recv_rate
+            self.period = 1.0 / rate if rate > 0 else self.config.syn
+        if self.last_dec_seq < 0 or seq_cmp(loss.biggest_seq, self.last_dec_seq) > 0:
+            self.period *= DECREASE_FACTOR
+            self.last_dec_seq = ctx.max_seq_sent
+            self.decreases += 1
+
+    def on_timeout(self) -> None:
+        if self.slow_start:
+            self.slow_start = False
+            self.period = self.config.syn
+        self.period *= DECREASE_FACTOR
+        self.decreases += 1
+
+
+def start_sabul_flow(
+    net: Network,
+    src: Host,
+    dst: Host,
+    start: float = 0.0,
+    nbytes: Optional[int] = None,
+    flow_id: Optional[object] = None,
+    static_window: int = 25600,
+) -> UdtFlow:
+    """A SABUL transfer: UDT machinery + MIMD control, no flow window."""
+    config = UdtConfig(flow_control=False, rcv_buffer_pkts=max(static_window, 2))
+    return UdtFlow(
+        net,
+        src,
+        dst,
+        config=config,
+        cc_factory=lambda cfg: SabulCC(cfg, static_window),
+        nbytes=nbytes,
+        start=start,
+        flow_id=flow_id,
+    )

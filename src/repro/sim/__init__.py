@@ -1,0 +1,31 @@
+"""Packet-level discrete-event network simulator.
+
+This subpackage is the substrate playing the role of both NS-2 and the
+paper's optical testbeds: an event engine, links with rate/delay/loss,
+DropTail and RED queues, hosts and routers with static routing, an
+unreliable datagram (UDP) service, and per-flow monitoring.
+"""
+
+from repro.sim.engine import Event, Simulator, Timer
+from repro.sim.link import Link
+from repro.sim.monitor import FlowMonitor
+from repro.sim.node import Host, Node, Router
+from repro.sim.packet import IP_UDP_HEADER, Packet
+from repro.sim.queues import DropTailQueue, REDQueue
+from repro.sim.topology import Network
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Timer",
+    "Packet",
+    "IP_UDP_HEADER",
+    "DropTailQueue",
+    "REDQueue",
+    "Link",
+    "Node",
+    "Host",
+    "Router",
+    "Network",
+    "FlowMonitor",
+]

@@ -1,0 +1,136 @@
+"""Unidirectional links: serialisation rate, propagation delay, loss, MTU.
+
+A link owns an egress queue (DropTail by default).  Packets larger than the
+MTU are IP-fragmented: the wire carries extra per-fragment headers and the
+loss of *any* fragment loses the whole transport packet — the
+"segmentation collapse" the paper's Figure 15 demonstrates for MSS > MTU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+
+#: Per-IP-fragment header bytes (IPv4 header repeated on each fragment).
+FRAG_HEADER = 20
+
+
+class Link:
+    """One-way pipe from ``src`` to ``dst`` node.
+
+    Parameters
+    ----------
+    rate_bps:
+        Serialisation rate in bits/second.
+    delay:
+        Propagation delay in seconds (one way).
+    queue:
+        Egress queue; defaults to a 100-packet DropTail.
+    loss_rate:
+        Independent per-packet random loss probability (physical link error,
+        §2.2 "random loss on the physical link").
+    mtu:
+        Maximum transmission unit in bytes (on-wire size per fragment).
+        ``None`` disables fragmentation.
+    jitter:
+        Zero-mean fractional randomisation of each packet's serialisation
+        time (e.g. 0.1 => +-5%).  Deterministic simulators suffer DropTail
+        phase effects that grossly distort two-flow RTT bias; NS-2 breaks
+        them with randomised processing overhead and this serves the same
+        purpose.  Jitter perturbs transmission (not propagation) so FIFO
+        ordering is preserved exactly.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: "Node",
+        dst: "Node",
+        rate_bps: float,
+        delay: float,
+        queue: Optional[DropTailQueue] = None,
+        loss_rate: float = 0.0,
+        mtu: Optional[int] = None,
+        name: str = "",
+        jitter: float = 0.0,
+    ):
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay < 0:
+            raise ValueError("link delay cannot be negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.rate_bps = float(rate_bps)
+        self.delay = float(delay)
+        self.queue = queue if queue is not None else DropTailQueue(100)
+        self.loss_rate = loss_rate
+        self.mtu = mtu
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.jitter = jitter
+        self.name = name or f"{src.id}->{dst.id}"
+        self._busy = False
+        # stats
+        self.bytes_sent = 0
+        self.pkts_sent = 0
+        self.pkts_lost = 0
+
+    # -- helpers --------------------------------------------------------
+    def wire_size(self, pkt: Packet) -> int:
+        """On-wire bytes including fragmentation overhead."""
+        if self.mtu is None or pkt.size <= self.mtu:
+            return pkt.size
+        nfrag = -(-pkt.size // self.mtu)  # ceil
+        return pkt.size + (nfrag - 1) * FRAG_HEADER
+
+    def fragments(self, pkt: Packet) -> int:
+        if self.mtu is None or pkt.size <= self.mtu:
+            return 1
+        return -(-pkt.size // self.mtu)
+
+    def tx_time(self, pkt: Packet) -> float:
+        return self.wire_size(pkt) * 8.0 / self.rate_bps
+
+    # -- data path ------------------------------------------------------
+    def send(self, pkt: Packet) -> bool:
+        """Hand a packet to this link's egress; False if the queue drops it."""
+        if self._busy:
+            return self.queue.push(pkt)
+        self._start_tx(pkt)
+        return True
+
+    def _start_tx(self, pkt: Packet) -> None:
+        self._busy = True
+        tx = self.tx_time(pkt)
+        if self.jitter:
+            tx *= 1.0 + self.jitter * (self.sim.rng.random() - 0.5)
+        self.sim.schedule(tx, self._tx_done, pkt)
+
+    def _tx_done(self, pkt: Packet) -> None:
+        self.bytes_sent += self.wire_size(pkt)
+        self.pkts_sent += 1
+        # Random (non-congestion) loss; any lost fragment loses the packet.
+        lost = False
+        if self.loss_rate > 0.0:
+            nfrag = self.fragments(pkt)
+            survive = (1.0 - self.loss_rate) ** nfrag
+            lost = self.sim.rng.random() >= survive
+        if lost:
+            self.pkts_lost += 1
+        else:
+            pkt.hops += 1
+            self.sim.schedule(self.delay, self.dst.receive, pkt)
+        nxt = self.queue.pop()
+        if nxt is not None:
+            self._start_tx(nxt)
+        else:
+            self._busy = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.rate_bps/1e6:.0f}Mb/s {self.delay*1e3:.2f}ms>"

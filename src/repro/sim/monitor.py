@@ -1,0 +1,87 @@
+"""Per-flow goodput monitoring.
+
+Protocol receivers report in-order application-level deliveries here.
+The monitor aggregates per-flow byte counts into fixed-interval bins so
+experiments can compute time series (Figures 7, 11, 12), averages
+(fairness/friendliness indices) and per-sample standard deviations
+(stability index, §3.6) without storing every packet.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+
+class FlowMonitor:
+    def __init__(self, sim: Simulator, bin_width: float = 0.1):
+        if bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        self.sim = sim
+        self.bin_width = bin_width
+        self._bins: Dict[object, Dict[int, int]] = defaultdict(dict)
+        self.total_bytes: Dict[object, int] = defaultdict(int)
+        self.first_seen: Dict[object, float] = {}
+
+    def on_deliver(self, flow: object, nbytes: int) -> None:
+        """Record ``nbytes`` of goodput for ``flow`` at the current time."""
+        t = self.sim.now
+        self.first_seen.setdefault(flow, t)
+        self.total_bytes[flow] += nbytes
+        b = int(t / self.bin_width)
+        bins = self._bins[flow]
+        bins[b] = bins.get(b, 0) + nbytes
+
+    # -- queries ---------------------------------------------------------
+    def flows(self) -> List[object]:
+        return list(self.total_bytes)
+
+    def throughput_bps(
+        self, flow: object, t0: float = 0.0, t1: Optional[float] = None
+    ) -> float:
+        """Average goodput in bits/s over [t0, t1] (bin resolution)."""
+        if t1 is None:
+            t1 = self.sim.now
+        if t1 <= t0:
+            return 0.0
+        b0, b1 = int(t0 / self.bin_width), int(t1 / self.bin_width)
+        total = sum(
+            n for b, n in self._bins.get(flow, {}).items() if b0 <= b < max(b1, b0 + 1)
+        )
+        return total * 8.0 / (t1 - t0)
+
+    def series(
+        self,
+        flow: object,
+        interval: float,
+        t0: float = 0.0,
+        t1: Optional[float] = None,
+    ) -> List[Tuple[float, float]]:
+        """(time, throughput bits/s) samples at ``interval`` granularity.
+
+        ``interval`` must be an integer multiple of the bin width.
+        """
+        if t1 is None:
+            t1 = self.sim.now
+        k = round(interval / self.bin_width)
+        if k < 1 or abs(k * self.bin_width - interval) > 1e-9:
+            raise ValueError(
+                f"interval {interval} must be a multiple of bin width {self.bin_width}"
+            )
+        bins = self._bins.get(flow, {})
+        out = []
+        t = t0
+        while t + interval <= t1 + 1e-12:
+            b0 = int(t / self.bin_width)
+            total = sum(bins.get(b0 + i, 0) for i in range(k))
+            out.append((t + interval, total * 8.0 / interval))
+            t += interval
+        return out
+
+    def sample_matrix(
+        self, flows: List[object], interval: float, t0: float, t1: float
+    ) -> List[List[float]]:
+        """Row per flow of throughput samples — input to the stability index."""
+        return [[v for _, v in self.series(f, interval, t0, t1)] for f in flows]

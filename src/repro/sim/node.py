@@ -1,0 +1,93 @@
+"""Nodes: hosts (datagram endpoints) and routers (store-and-forward).
+
+Forwarding is by destination node id through a static routing table
+(``routes[dst_node] -> Link``) installed by :class:`repro.sim.topology.Network`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+
+
+class Node:
+    def __init__(self, sim: Simulator, node_id: int, name: str = ""):
+        self.sim = sim
+        self.id = node_id
+        self.name = name or f"n{node_id}"
+        self.routes: Dict[int, Link] = {}
+        self.pkts_forwarded = 0
+        self.pkts_delivered = 0
+        self.pkts_unroutable = 0
+
+    def receive(self, pkt: Packet) -> None:
+        if pkt.dst_node == self.id:
+            self.pkts_delivered += 1
+            self.deliver(pkt)
+        else:
+            self.forward(pkt)
+
+    def forward(self, pkt: Packet) -> None:
+        link = self.routes.get(pkt.dst_node)
+        if link is None:
+            self.pkts_unroutable += 1
+            return
+        self.pkts_forwarded += 1
+        link.send(pkt)
+
+    def deliver(self, pkt: Packet) -> None:
+        """Hand a packet addressed to this node to a local endpoint."""
+        raise NotImplementedError
+
+    def send(self, pkt: Packet) -> bool:
+        """Originate a packet from this node (loopback short-circuits)."""
+        if pkt.dst_node == self.id:
+            # Local delivery still takes one event so callers never re-enter.
+            self.sim.schedule(0.0, self.receive, pkt)
+            return True
+        link = self.routes.get(pkt.dst_node)
+        if link is None:
+            self.pkts_unroutable += 1
+            return False
+        return link.send(pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Router(Node):
+    """Pure store-and-forward node; delivering to a router is an error."""
+
+    def deliver(self, pkt: Packet) -> None:
+        raise RuntimeError(f"packet addressed to router {self.name}: {pkt!r}")
+
+
+class Host(Node):
+    """End host: demultiplexes delivered packets to bound ports."""
+
+    def __init__(self, sim: Simulator, node_id: int, name: str = ""):
+        super().__init__(sim, node_id, name)
+        self._ports: Dict[int, Callable[[Packet], None]] = {}
+
+    def bind(self, port: int, handler: Callable[[Packet], None]) -> None:
+        if port in self._ports:
+            raise ValueError(f"port {port} already bound on {self.name}")
+        self._ports[port] = handler
+
+    def unbind(self, port: int) -> None:
+        self._ports.pop(port, None)
+
+    def next_free_port(self, start: int = 49152) -> int:
+        port = start
+        while port in self._ports:
+            port += 1
+        return port
+
+    def deliver(self, pkt: Packet) -> None:
+        handler = self._ports.get(pkt.dst_port)
+        if handler is not None:
+            handler(pkt)
+        # Unbound port: silently dropped, like a real host with no listener.

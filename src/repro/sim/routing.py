@@ -1,0 +1,34 @@
+"""Static shortest-path routing.
+
+Routes are computed once over the topology graph (weighted by propagation
+delay) and installed as per-node next-hop tables.  The simulator models a
+stable provisioned network — the paper's testbeds are static light paths —
+so dynamic routing is out of scope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import networkx as nx
+
+from repro.sim.link import Link
+from repro.sim.node import Node
+
+
+def compute_routes(
+    nodes: Dict[int, Node], links: Dict[Tuple[int, int], Link]
+) -> None:
+    """Install next-hop tables on every node (all-pairs Dijkstra by delay)."""
+    g = nx.DiGraph()
+    g.add_nodes_from(nodes)
+    for (a, b), link in links.items():
+        g.add_edge(a, b, weight=link.delay + 1e-12, link=link)
+    paths = dict(nx.all_pairs_dijkstra_path(g, weight="weight"))
+    for src_id, node in nodes.items():
+        node.routes.clear()
+        reachable = paths.get(src_id, {})
+        for dst_id, path in reachable.items():
+            if dst_id == src_id or len(path) < 2:
+                continue
+            node.routes[dst_id] = links[(path[0], path[1])]

@@ -1,0 +1,126 @@
+"""NS-2-style event tracing.
+
+Attach a :class:`PacketTracer` to links to capture enqueue/dequeue/drop/
+deliver events, or a :class:`QueueSampler` to sample queue occupancy over
+time.  Used by tests to validate micro-behaviour (probe-pair spacing,
+drop clustering) and by users to debug protocol dynamics; traces write
+out in an ns-2-like ``<event> <time> <link> <size> <flow>`` text format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, TextIO
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+
+#: Trace event kinds (ns-2 letters: + enqueue, - dequeue, d drop, r receive).
+ENQUEUE = "+"
+DEQUEUE = "-"
+DROP = "d"
+RECEIVE = "r"
+
+
+@dataclass
+class TraceEvent:
+    kind: str
+    time: float
+    link: str
+    size: int
+    flow: Optional[object]
+    uid: int
+
+    def format(self) -> str:
+        return (
+            f"{self.kind} {self.time:.9f} {self.link} {self.size} "
+            f"{self.flow if self.flow is not None else '-'} {self.uid}"
+        )
+
+
+class PacketTracer:
+    """Wraps a link's data path to record every packet event."""
+
+    def __init__(self, limit: int = 1_000_000):
+        self.events: List[TraceEvent] = []
+        self.limit = limit
+        self._links: List[Link] = []
+
+    def attach(self, link: Link) -> None:
+        """Instrument one link (idempotent per link)."""
+        if any(l is link for l in self._links):
+            return
+        self._links.append(link)
+        sim = link.sim
+        orig_send = link.send
+        orig_tx_done = link._tx_done
+        orig_push = link.queue.push
+
+        def record(kind: str, pkt: Packet) -> None:
+            if len(self.events) < self.limit:
+                self.events.append(
+                    TraceEvent(kind, sim.now, link.name, pkt.size, pkt.flow, pkt.uid)
+                )
+
+        def traced_push(pkt: Packet) -> bool:
+            ok = orig_push(pkt)
+            record(ENQUEUE if ok else DROP, pkt)
+            return ok
+
+        def traced_send(pkt: Packet) -> bool:
+            if not link._busy:
+                record(ENQUEUE, pkt)  # goes straight to the transmitter
+            return orig_send(pkt)
+
+        def traced_tx_done(pkt: Packet) -> None:
+            record(DEQUEUE, pkt)
+            orig_tx_done(pkt)
+
+        link.queue.push = traced_push
+        link.send = traced_send
+        link._tx_done = traced_tx_done
+
+    # -- queries -----------------------------------------------------------
+    def drops(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == DROP]
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def dequeue_times(self, uid_filter: Optional[Callable[[int], bool]] = None):
+        return [
+            e.time
+            for e in self.events
+            if e.kind == DEQUEUE and (uid_filter is None or uid_filter(e.uid))
+        ]
+
+    def write(self, out: TextIO) -> int:
+        for e in self.events:
+            out.write(e.format() + "\n")
+        return len(self.events)
+
+
+class QueueSampler:
+    """Samples a link's queue occupancy at a fixed interval."""
+
+    def __init__(self, sim: Simulator, link: Link, interval: float = 0.01):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.link = link
+        self.interval = interval
+        self.samples: List[tuple] = []  # (time, packets, bytes)
+        self._tick()
+
+    def _tick(self) -> None:
+        self.samples.append((self.sim.now, len(self.link.queue), self.link.queue.bytes))
+        self.sim.schedule(self.interval, self._tick)
+
+    def max_occupancy(self) -> int:
+        return max((p for _, p, _ in self.samples), default=0)
+
+    def mean_occupancy(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(p for _, p, _ in self.samples) / len(self.samples)

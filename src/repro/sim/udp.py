@@ -1,0 +1,71 @@
+"""Unreliable datagram service — the substrate UDT rides on.
+
+``UdpEndpoint`` mirrors the sockets API shape the paper's implementation
+uses: bind to a host/port, ``sendto`` best-effort datagrams, receive via a
+callback.  On-wire size = payload size + 28 bytes of IP/UDP headers; the
+simulator applies queueing, loss and delay; there is no reliability,
+ordering, or congestion control here — exactly UDP's contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.node import Host
+from repro.sim.packet import IP_UDP_HEADER, Address, Packet
+
+Handler = Callable[[Any, Address, int], None]  # (payload, src_addr, size)
+
+
+class UdpEndpoint:
+    def __init__(self, host: Host, port: Optional[int] = None):
+        self.host = host
+        self.sim = host.sim
+        if port is None:
+            port = host.next_free_port()
+        self.port = port
+        self._handler: Optional[Handler] = None
+        host.bind(port, self._on_packet)
+        self._closed = False
+        self.bytes_sent = 0
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+
+    @property
+    def address(self) -> Address:
+        return (self.host.id, self.port)
+
+    def on_receive(self, handler: Handler) -> None:
+        self._handler = handler
+
+    def sendto(
+        self,
+        payload: Any,
+        size: int,
+        dst: Address,
+        flow: Optional[int] = None,
+    ) -> bool:
+        """Send a datagram whose application payload is ``size`` bytes."""
+        if self._closed:
+            raise RuntimeError("endpoint is closed")
+        pkt = Packet(
+            size=size + IP_UDP_HEADER,
+            src=self.address,
+            dst=dst,
+            payload=payload,
+            flow=flow,
+            created=self.sim.now,
+        )
+        self.bytes_sent += pkt.size
+        self.datagrams_sent += 1
+        return self.host.send(pkt)
+
+    def close(self) -> None:
+        if not self._closed:
+            self.host.unbind(self.port)
+            self._closed = True
+
+    def _on_packet(self, pkt: Packet) -> None:
+        self.datagrams_received += 1
+        if self._handler is not None:
+            self._handler(pkt.payload, pkt.src, pkt.size - IP_UDP_HEADER)

@@ -1,0 +1,37 @@
+"""TCP family — the baseline protocols the paper compares against.
+
+A packet-sequence TCP in the NS-2 tradition (every segment is MSS-sized
+and numbered by packet, exactly like the simulator the paper used for its
+own TCP comparisons): slow start, congestion avoidance, fast
+retransmit/recovery with a SACK scoreboard, RFC 6298 RTO with exponential
+backoff.  The congestion response is pluggable, providing the §5.2
+comparison set: Reno/SACK ("standard TCP"), HighSpeed, Scalable, BIC,
+Vegas and Westwood.
+"""
+
+from repro.tcp.agent import TcpFlow, TcpSink, TcpSender, start_tcp_flow
+from repro.tcp.options import TcpConfig
+from repro.tcp.responses import (
+    BicResponse,
+    HighSpeedResponse,
+    RenoResponse,
+    Response,
+    ScalableResponse,
+    VegasResponse,
+    WestwoodResponse,
+)
+
+__all__ = [
+    "TcpConfig",
+    "TcpFlow",
+    "TcpSender",
+    "TcpSink",
+    "start_tcp_flow",
+    "Response",
+    "RenoResponse",
+    "HighSpeedResponse",
+    "ScalableResponse",
+    "BicResponse",
+    "VegasResponse",
+    "WestwoodResponse",
+]

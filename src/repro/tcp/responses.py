@@ -1,0 +1,212 @@
+"""Congestion-response functions for the TCP variants (§5.2).
+
+Each response answers two questions the sender machinery asks:
+
+* ``ack_increment(cwnd)`` — how much to open cwnd per newly ACKed segment
+  during congestion avoidance;
+* ``backoff(cwnd)`` — the multiplicative decrease factor applied on a
+  fast-retransmit loss event (the new ssthresh is ``cwnd * backoff``).
+
+Delay-based variants additionally observe RTT samples; Westwood observes
+ACK arrivals to estimate bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class Response:
+    """Standard Reno/SACK AIMD: +1 segment per RTT, halve on loss."""
+
+    name = "reno"
+
+    def ack_increment(self, cwnd: float) -> float:
+        return 1.0 / cwnd
+
+    def backoff(self, cwnd: float) -> float:
+        return 0.5
+
+    # optional hooks -----------------------------------------------------
+    def on_rtt_sample(self, rtt: float) -> None:
+        pass
+
+    def on_ack_arrival(self, acked_pkts: int, now: float) -> None:
+        pass
+
+    def on_timeout(self) -> None:
+        pass
+
+    def per_rtt_adjust(self, sender) -> None:
+        """Called once per RTT with the sender (Vegas uses this)."""
+
+    def ssthresh_after_loss(self, sender) -> Optional[float]:
+        """Override the ssthresh computed from backoff (Westwood)."""
+        return None
+
+
+RenoResponse = Response
+
+
+class HighSpeedResponse(Response):
+    """HighSpeed TCP (RFC 3649).
+
+    Below ``low_window`` it is exactly Reno; above, a(w) grows and b(w)
+    shrinks along the RFC's log-linear interpolation between
+    (38, 0.5) and (83000, 0.1).
+    """
+
+    name = "highspeed"
+
+    LOW_WINDOW = 38.0
+    HIGH_WINDOW = 83000.0
+    HIGH_P = 1e-7
+    HIGH_DECREASE = 0.1
+
+    def _b(self, w: float) -> float:
+        if w <= self.LOW_WINDOW:
+            return 0.5
+        frac = (math.log(w) - math.log(self.LOW_WINDOW)) / (
+            math.log(self.HIGH_WINDOW) - math.log(self.LOW_WINDOW)
+        )
+        return 0.5 + frac * (self.HIGH_DECREASE - 0.5)
+
+    def _a(self, w: float) -> float:
+        if w <= self.LOW_WINDOW:
+            return 1.0
+        b = self._b(w)
+        # RFC 3649: a(w) = w^2 * p(w) * 2 * b(w) / (2 - b(w)),
+        # with p(w) from the response function  w = 0.12 / p^0.835:
+        p = 0.078 / (w**1.2)
+        return (w * w * p * 2.0 * b) / (2.0 - b)
+
+    def ack_increment(self, cwnd: float) -> float:
+        return self._a(cwnd) / cwnd
+
+    def backoff(self, cwnd: float) -> float:
+        return 1.0 - self._b(cwnd)
+
+
+class ScalableResponse(Response):
+    """Scalable TCP (Kelly): MIMD — +0.01 per ACK, x0.875 on loss."""
+
+    name = "scalable"
+
+    LOW_WINDOW = 16.0
+
+    def ack_increment(self, cwnd: float) -> float:
+        if cwnd <= self.LOW_WINDOW:
+            return 1.0 / cwnd
+        return 0.01
+
+    def backoff(self, cwnd: float) -> float:
+        if cwnd <= self.LOW_WINDOW:
+            return 0.5
+        return 0.875
+
+
+class BicResponse(Response):
+    """BIC TCP binary-increase search (Xu, Harfoush & Rhee)."""
+
+    name = "bic"
+
+    S_MAX = 32.0
+    S_MIN = 0.01
+    BETA = 0.875
+    LOW_WINDOW = 14.0
+
+    def __init__(self) -> None:
+        self.max_win = float(1 << 20)
+        self.min_win: Optional[float] = None
+
+    def ack_increment(self, cwnd: float) -> float:
+        if cwnd <= self.LOW_WINDOW:
+            return 1.0 / cwnd
+        if self.min_win is None:
+            self.min_win = cwnd
+        if cwnd < self.max_win:
+            target = (self.max_win + cwnd) / 2.0
+            inc = target - cwnd
+        else:
+            # max probing: grow past the previous maximum slowly
+            inc = cwnd - self.max_win + 1.0
+        inc = min(max(inc, self.S_MIN), self.S_MAX)
+        return inc / cwnd
+
+    def backoff(self, cwnd: float) -> float:
+        if cwnd <= self.LOW_WINDOW:
+            return 0.5
+        # fast convergence: remember a slightly deflated maximum
+        self.max_win = cwnd * (1.0 + self.BETA) / 2.0
+        self.min_win = None
+        return self.BETA
+
+    def on_timeout(self) -> None:
+        self.max_win = float(1 << 20)
+        self.min_win = None
+
+
+class VegasResponse(Response):
+    """TCP Vegas: keep between alpha and beta packets queued in the path."""
+
+    name = "vegas"
+
+    def __init__(self, alpha: float = 1.0, beta: float = 3.0) -> None:
+        self.alpha = alpha
+        self.beta = beta
+        self.base_rtt = float("inf")
+        self.last_rtt: Optional[float] = None
+
+    def on_rtt_sample(self, rtt: float) -> None:
+        self.base_rtt = min(self.base_rtt, rtt)
+        self.last_rtt = rtt
+
+    def ack_increment(self, cwnd: float) -> float:
+        return 0.0  # all adjustment happens per-RTT
+
+    def per_rtt_adjust(self, sender) -> None:
+        if self.last_rtt is None or not math.isfinite(self.base_rtt):
+            return
+        expected = sender.cwnd / self.base_rtt
+        actual = sender.cwnd / self.last_rtt
+        diff = (expected - actual) * self.base_rtt
+        if diff < self.alpha:
+            sender.cwnd += 1.0
+        elif diff > self.beta:
+            sender.cwnd = max(sender.cwnd - 1.0, 2.0)
+
+    def backoff(self, cwnd: float) -> float:
+        return 0.75
+
+
+class WestwoodResponse(Response):
+    """TCP Westwood: on loss, set ssthresh from the ACK-rate bandwidth
+    estimate times the minimum RTT (faster recovery on lossy paths)."""
+
+    name = "westwood"
+
+    def __init__(self) -> None:
+        self.bwe_pps = 0.0  # packets per second
+        self._last_ack_time: Optional[float] = None
+        self.min_rtt = float("inf")
+
+    def on_rtt_sample(self, rtt: float) -> None:
+        self.min_rtt = min(self.min_rtt, rtt)
+
+    def on_ack_arrival(self, acked_pkts: int, now: float) -> None:
+        if self._last_ack_time is not None:
+            dt = now - self._last_ack_time
+            if dt > 0:
+                sample = acked_pkts / dt
+                # double low-pass filter approximated by one EWMA
+                self.bwe_pps = 0.9 * self.bwe_pps + 0.1 * sample
+        self._last_ack_time = now
+
+    def ssthresh_after_loss(self, sender) -> Optional[float]:
+        if self.bwe_pps <= 0 or not math.isfinite(self.min_rtt):
+            return None
+        return max(self.bwe_pps * self.min_rtt, 2.0)
+
+    def backoff(self, cwnd: float) -> float:
+        return 0.5  # used only if no bandwidth estimate yet

@@ -1,0 +1,179 @@
+"""SACK scoreboard (sender side), RFC 6675 flavoured.
+
+Packet sequence numbers are plain monotone integers here (TCP in this
+simulator never wraps: Python ints), so the scoreboard is a set of sorted
+disjoint ranges plus loss/retransmission marks.  ``pipe`` — consulted for
+every transmission decision — is kept O(1) by maintaining the count of
+lost-but-not-retransmitted packets incrementally.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left, bisect_right
+from typing import List, Optional
+
+
+class Scoreboard:
+    def __init__(self, dupthresh: int = 3):
+        self.dupthresh = dupthresh
+        self._starts: List[int] = []
+        self._ends: List[int] = []  # inclusive
+        self.lost: set[int] = set()
+        self.retransmitted: set[int] = set()
+        self._lost_not_retx = 0
+        self._sacked = 0
+        self._retx_heap: List[int] = []  # lazy min-heap of retransmit candidates
+        self._loss_frontier = 0  # all holes below are already classified
+
+    # -- sack bookkeeping -------------------------------------------------
+    def add_sack(self, a: int, b: int) -> None:
+        """Record that [a, b] was received out of order."""
+        if b < a:
+            raise ValueError("inverted SACK block")
+        # A packet marked lost that turns out to have arrived is un-lost.
+        revived = [s for s in self.lost if a <= s <= b]
+        for s in revived:
+            self.lost.discard(s)
+            if s not in self.retransmitted:
+                self._lost_not_retx -= 1
+        starts, ends = self._starts, self._ends
+        lo = bisect_left(ends, a - 1)
+        hi = bisect_right(starts, b + 1)
+        if lo >= hi:
+            starts.insert(lo, a)
+            ends.insert(lo, b)
+            self._sacked += b - a + 1
+            return
+        na, nb = min(a, starts[lo]), max(b, ends[hi - 1])
+        absorbed = sum(ends[i] - starts[i] + 1 for i in range(lo, hi))
+        del starts[lo:hi]
+        del ends[lo:hi]
+        starts.insert(lo, na)
+        ends.insert(lo, nb)
+        self._sacked += (nb - na + 1) - absorbed
+
+    def is_sacked(self, seq: int) -> bool:
+        i = bisect_right(self._starts, seq) - 1
+        return i >= 0 and self._ends[i] >= seq
+
+    def sacked_above(self, seq: int) -> int:
+        """How many sacked packets lie strictly above ``seq``."""
+        total = 0
+        for a, b in zip(self._starts, self._ends):
+            if b <= seq:
+                continue
+            total += b - max(a, seq + 1) + 1
+        return total
+
+    def highest_sacked(self) -> Optional[int]:
+        return self._ends[-1] if self._ends else None
+
+    def sacked_count(self) -> int:
+        return self._sacked
+
+    # -- loss inference ------------------------------------------------------
+    def _mark_lost(self, seq: int) -> bool:
+        if seq in self.lost:
+            return False
+        self.lost.add(seq)
+        if seq not in self.retransmitted:
+            self._lost_not_retx += 1
+            heapq.heappush(self._retx_heap, seq)
+        return True
+
+    def update_lost(self, snd_una: int) -> int:
+        """FACK-style loss inference: every unsacked packet more than
+        ``dupthresh`` below the highest SACKed packet is lost.  (With no
+        in-network reordering — true of this simulator — this matches the
+        RFC 6675 IsLost rule.)  A monotone scan frontier makes the total
+        work linear in the sequence space, not per-ACK.
+        """
+        high = self.highest_sacked()
+        if high is None:
+            return 0
+        limit = high - self.dupthresh  # inclusive upper bound for "lost"
+        new = 0
+        seq = max(self._loss_frontier, snd_una)
+        starts, ends = self._starts, self._ends
+        while seq <= limit:
+            i = bisect_right(starts, seq) - 1
+            if i >= 0 and ends[i] >= seq:
+                seq = ends[i] + 1  # jump over a sacked run
+                continue
+            if self._mark_lost(seq):
+                new += 1
+            seq += 1
+        self._loss_frontier = max(self._loss_frontier, seq)
+        return new
+
+    def mark_lost_range(self, a: int, b: int) -> int:
+        """Timeout path: everything unsacked in [a, b] is presumed lost."""
+        new = 0
+        for s in range(a, b + 1):
+            if not self.is_sacked(s) and self._mark_lost(s):
+                new += 1
+        return new
+
+    def next_lost_to_retransmit(self, snd_una: int) -> Optional[int]:
+        heap = self._retx_heap
+        while heap:
+            s = heap[0]
+            if s < snd_una or s not in self.lost or s in self.retransmitted:
+                heapq.heappop(heap)
+                continue
+            return s
+        return None
+
+    def on_retransmit(self, seq: int) -> None:
+        if seq in self.lost and seq not in self.retransmitted:
+            self._lost_not_retx -= 1
+        self.retransmitted.add(seq)
+
+    def re_mark_lost(self, seq: int) -> bool:
+        """A retransmission was itself judged lost: make the sequence
+        eligible for retransmission again (without this, a dropped
+        retransmission wedges the cumulative ACK until an RTO)."""
+        if seq in self.lost and seq in self.retransmitted and not self.is_sacked(seq):
+            self.retransmitted.discard(seq)
+            self._lost_not_retx += 1
+            heapq.heappush(self._retx_heap, seq)
+            return True
+        return False
+
+    # -- advancing ------------------------------------------------------------
+    def ack_upto(self, snd_una: int) -> None:
+        """Cumulative ACK advanced: forget everything below ``snd_una``."""
+        starts, ends = self._starts, self._ends
+        i = bisect_right(ends, snd_una - 1)
+        if i:
+            self._sacked -= sum(ends[j] - starts[j] + 1 for j in range(i))
+            del starts[:i]
+            del ends[:i]
+        if starts and starts[0] < snd_una:
+            self._sacked -= snd_una - starts[0]
+            starts[0] = snd_una
+        if self.lost:
+            gone = [s for s in self.lost if s < snd_una]
+            for s in gone:
+                self.lost.discard(s)
+                if s not in self.retransmitted:
+                    self._lost_not_retx -= 1
+        if self.retransmitted:
+            self.retransmitted = {s for s in self.retransmitted if s >= snd_una}
+        self._loss_frontier = max(self._loss_frontier, snd_una)
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._ends.clear()
+        self.lost.clear()
+        self.retransmitted.clear()
+        self._lost_not_retx = 0
+        self._sacked = 0
+        self._retx_heap.clear()
+        self._loss_frontier = 0
+
+    def pipe(self, snd_una: int, snd_nxt: int) -> int:
+        """Packets judged in flight (RFC 6675 pipe), O(1)."""
+        flight = snd_nxt - snd_una
+        return max(flight - self._sacked - self._lost_not_retx, 0)

@@ -1,0 +1,29 @@
+"""UDT — UDP-based Data Transport (the paper's primary contribution).
+
+The protocol core (:mod:`repro.udt.core`) is written *sans-IO*: it is a pair
+of sender/receiver state machines driven by a clock abstraction and an
+outbound message sink.  Two bindings exist:
+
+* :mod:`repro.udt.sim_adapter` — runs the core over the simulated UDP
+  service (all paper experiments use this).
+* :mod:`repro.live` — runs the same core over real UDP sockets on loopback.
+"""
+
+from repro.udt.cc import CongestionControl, FixedAimdCC, UdtNativeCC
+from repro.udt.core import UdtCore
+from repro.udt.losslist import ReceiverLossList, SenderLossList
+from repro.udt.params import SYN, UdtConfig
+from repro.udt.sim_adapter import UdtFlow, start_udt_flow
+
+__all__ = [
+    "SYN",
+    "UdtConfig",
+    "UdtCore",
+    "CongestionControl",
+    "UdtNativeCC",
+    "FixedAimdCC",
+    "SenderLossList",
+    "ReceiverLossList",
+    "UdtFlow",
+    "start_udt_flow",
+]

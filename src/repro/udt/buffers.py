@@ -1,0 +1,223 @@
+"""Send/receive buffers with overlapped-IO accounting (§4.3, §4.6).
+
+The simulator does not ship real payload bytes around (packets carry byte
+*counts*), but the buffer logic is complete: the receive buffer reorders
+out-of-order arrivals, delivers contiguous runs to the application, and
+reports available space for flow control.  When real data is present (the
+loopback runtime) the same code paths carry ``bytes``.
+
+Overlapped IO is modelled exactly as Figure 10 describes: the application
+may post a user buffer that becomes a logical extension of the protocol
+buffer; packets whose position falls inside the posted region are counted
+as *zero-copy* (they would land directly in user memory), everything else
+incurs a protocol-buffer copy.  The speculation counters implement §4.6:
+the receiver always guesses the next packet is LRSN+1; each loss and each
+retransmission arrival cost one speculation miss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.udt.seqno import seq_cmp, seq_inc, seq_off
+
+
+class SendBuffer:
+    """Application bytes queued for (re)transmission, packetised at MSS.
+
+    Packets keep their payload until acknowledged so retransmissions can
+    look sizes (and live-mode data) back up by sequence number.
+    """
+
+    def __init__(self, capacity_pkts: int, payload_size: int):
+        if capacity_pkts < 1 or payload_size < 1:
+            raise ValueError("bad buffer geometry")
+        self.capacity_pkts = capacity_pkts
+        self.payload_size = payload_size
+        self._pending_bytes = 0  # accepted, not yet packetised
+        self._pending_data: list[bytes] = []  # live mode only
+        self._inflight: Dict[int, Tuple[int, Optional[bytes]]] = {}
+        # Sequence numbers in packetisation order; ACKs release a strict
+        # prefix, so ack_upto is O(packets acked), never a full scan.
+        from collections import deque
+
+        self._order: deque[int] = deque()
+
+    # -- application side --------------------------------------------------
+    def free_packets(self) -> int:
+        used = len(self._inflight) + self.queued_packets()
+        return max(self.capacity_pkts - used, 0)
+
+    def queued_packets(self) -> int:
+        return -(-self._pending_bytes // self.payload_size) if self._pending_bytes else 0
+
+    def add(self, nbytes: int, data: Optional[bytes] = None) -> int:
+        """Queue up to ``nbytes`` application bytes; returns bytes accepted."""
+        if nbytes < 0:
+            raise ValueError("negative byte count")
+        room = self.free_packets() * self.payload_size
+        take = min(nbytes, room)
+        if take <= 0:
+            return 0
+        if data is not None:
+            self._pending_data.append(data[:take])
+        self._pending_bytes += take
+        return take
+
+    @property
+    def has_data(self) -> bool:
+        return self._pending_bytes > 0
+
+    # -- sender side ---------------------------------------------------------
+    def packetise(self, seq: int) -> Optional[int]:
+        """Bind the next chunk to sequence ``seq``; returns payload size."""
+        if self._pending_bytes <= 0:
+            return None
+        size = min(self.payload_size, self._pending_bytes)
+        self._pending_bytes -= size
+        data: Optional[bytes] = None
+        if self._pending_data:
+            chunks: list[bytes] = []
+            need = size
+            while need and self._pending_data:
+                head = self._pending_data[0]
+                if len(head) <= need:
+                    chunks.append(head)
+                    self._pending_data.pop(0)
+                    need -= len(head)
+                else:
+                    chunks.append(head[:need])
+                    self._pending_data[0] = head[need:]
+                    need = 0
+            data = b"".join(chunks)
+        self._inflight[seq] = (size, data)
+        self._order.append(seq)
+        return size
+
+    def lookup(self, seq: int) -> Optional[Tuple[int, Optional[bytes]]]:
+        """Payload (size, data) for a retransmission, None if already acked."""
+        return self._inflight.get(seq)
+
+    def ack_upto(self, seq: int) -> int:
+        """Release every packet strictly before ``seq``; returns count freed."""
+        freed = 0
+        order = self._order
+        inflight = self._inflight
+        while order and seq_cmp(order[0], seq) < 0:
+            del inflight[order.popleft()]
+            freed += 1
+        return freed
+
+    @property
+    def inflight_packets(self) -> int:
+        return len(self._inflight)
+
+
+class ReceiveBuffer:
+    """Reordering receive buffer with in-order delivery.
+
+    ``deliver`` is invoked once per contiguous run handed to the
+    application (monitors hook this).  Available space — what flow control
+    advertises — shrinks with packets held for reordering *and* delivered
+    packets the application has not yet drained (the sim application
+    drains instantly by default).
+    """
+
+    def __init__(
+        self,
+        capacity_pkts: int,
+        deliver: Optional[Callable[[int, Optional[bytes]], None]] = None,
+        hold_for_app: bool = False,
+    ):
+        if capacity_pkts < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity_pkts = capacity_pkts
+        self._deliver = deliver
+        #: when True, delivered packets still occupy buffer space until the
+        #: application explicitly reads them (disk-limited workloads where
+        #: flow control must throttle the sender to the drain rate).
+        self.hold_for_app = hold_for_app
+        self.unread_packets = 0
+        self._held: Dict[int, Tuple[int, Optional[bytes]]] = {}
+        self.next_expected: Optional[int] = None
+        self.delivered_bytes = 0
+        self.delivered_packets = 0
+        self.duplicates = 0
+        # §4.6 speculation accounting
+        self.speculation_hits = 0
+        self.speculation_misses = 0
+        # §4.3 overlapped IO accounting
+        self._user_buffer_bytes = 0
+        self.zero_copy_bytes = 0
+        self.copied_bytes = 0
+
+    def start(self, init_seq: int) -> None:
+        self.next_expected = init_seq
+        self._speculated = init_seq
+
+    def post_user_buffer(self, nbytes: int) -> None:
+        """Overlapped IO: extend the protocol buffer with user memory."""
+        if nbytes < 0:
+            raise ValueError("negative buffer size")
+        self._user_buffer_bytes += nbytes
+
+    @property
+    def available(self) -> int:
+        """Free packet slots (advertised in ACKs for flow control)."""
+        return max(self.capacity_pkts - len(self._held) - self.unread_packets, 0)
+
+    def app_read(self, npkts: int) -> int:
+        """Application consumed ``npkts`` delivered packets (hold mode)."""
+        if npkts < 0:
+            raise ValueError("negative read count")
+        taken = min(npkts, self.unread_packets)
+        self.unread_packets -= taken
+        return taken
+
+    def accepts(self, seq: int) -> bool:
+        """Would a packet with this sequence fit the buffer window?"""
+        if self.next_expected is None:
+            return False
+        off = seq_off(self.next_expected, seq)
+        return off < self.capacity_pkts - self.unread_packets
+
+    def on_data(self, seq: int, size: int, data: Optional[bytes] = None) -> bool:
+        """Accept one data packet; returns False for duplicates/overflow."""
+        if self.next_expected is None:
+            raise RuntimeError("buffer not started")
+        off = seq_off(self.next_expected, seq)
+        if off < 0 or seq in self._held:
+            self.duplicates += 1
+            return False
+        if not self.accepts(seq):
+            return False  # no room — dropped as if the NIC queue overflowed
+        # Speculation: the receiver always guesses the largest-seen + 1.
+        if seq == self._speculated:
+            self.speculation_hits += 1
+        else:
+            self.speculation_misses += 1
+        if seq_off(self._speculated, seq) >= 0:
+            self._speculated = seq_inc(seq)
+        self._held[seq] = (size, data)
+        self._drain()
+        return True
+
+    def _drain(self) -> None:
+        while self.next_expected in self._held:
+            size, data = self._held.pop(self.next_expected)
+            if self.hold_for_app:
+                self.unread_packets += 1
+            if self._user_buffer_bytes >= size:
+                self._user_buffer_bytes -= size
+                self.zero_copy_bytes += size
+            else:
+                self.copied_bytes += size
+            self.delivered_bytes += size
+            self.delivered_packets += 1
+            if self._deliver is not None:
+                self._deliver(size, data)
+            self.next_expected = seq_inc(self.next_expected)
+
+    @property
+    def held_packets(self) -> int:
+        return len(self._held)

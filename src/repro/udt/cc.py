@@ -1,0 +1,281 @@
+"""Congestion control (§3.3–§3.5).
+
+UDT's control is rate-based AIMD whose *increase parameter is chosen from
+estimated available bandwidth* (formula (1)); the decrease is a gentle
+1/9th (formula (3)) with a one-SYN freeze on fresh congestion.  The
+congestion-control algorithm is pluggable (the paper's conclusion calls
+this out as a design goal): subclass :class:`CongestionControl` and hand it
+to the socket/flow factory.
+
+Formula (1) with B the estimated available bandwidth in bits/s::
+
+    inc = max( 10 ** (ceil(log10(B)) - 9), 1/1500 ) * (1500 / MSS)   [packets/SYN]
+
+which yields the paper's Table 1 (MSS = 1500):
+
+    B in (1000, 10000] Mb/s -> 10        B in (1, 10] Mb/s   -> 0.01
+    B in (100, 1000] Mb/s   -> 1         B in (0.1, 1] Mb/s  -> 0.001
+    B in (10, 100] Mb/s     -> 0.1       B <= 0.1 Mb/s       -> 0.00067
+
+Formula (2) converts the increment into a new packet-sending period::
+
+    SYN / P_new = SYN / P_old + inc
+
+Formula (3), on congestion::
+
+    P_new = P_old * 1.125          (rate decrease factor 1/9)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Tuple
+
+from repro.udt.params import UdtConfig
+from repro.udt.seqno import seq_cmp
+
+#: Multiplicative period increase on congestion — rate x 8/9 (formula (3)).
+DECREASE_FACTOR = 1.125
+
+#: Initial slow-start window in packets (reference implementation value).
+INITIAL_CWND = 16.0
+
+
+def increase_param(bw_bps: float, mss: int) -> float:
+    """Formula (1): packets to add per SYN given available bandwidth."""
+    if bw_bps <= 0:
+        return 1500.0 / mss / 1500.0  # the 1/MSS floor
+    inc = 10.0 ** (math.ceil(math.log10(bw_bps)) - 9)
+    inc = max(inc, 1.0 / 1500.0)
+    return inc * (1500.0 / mss)
+
+
+class CcContext(Protocol):
+    """What a congestion controller may observe about its endpoint."""
+
+    def now(self) -> float: ...
+
+    @property
+    def rtt(self) -> float: ...
+
+    @property
+    def recv_rate(self) -> float:  # packets/s measured by the receiver
+        ...
+
+    @property
+    def bandwidth(self) -> float:  # packets/s link capacity estimate
+        ...
+
+    @property
+    def max_seq_sent(self) -> int: ...
+
+
+@dataclass
+class LossEvent:
+    """NAK contents handed to the controller."""
+
+    ranges: List[Tuple[int, int]]
+    biggest_seq: int
+    lost_packets: int
+
+
+class CongestionControl:
+    """Base class: fixed-rate, window-unlimited (pure pacing)."""
+
+    def __init__(self, config: UdtConfig):
+        self.config = config
+        # The reference implementation starts the period at 1 us: during
+        # slow start sending is purely window-limited.
+        self.period: float = (
+            config.initial_period if config.initial_period is not None else 1e-6
+        )
+        self.window: float = INITIAL_CWND
+        self.ctx: Optional[CcContext] = None
+        #: set True by on_loss to request a one-SYN send freeze (§3.3).
+        self.freeze_requested = False
+        #: slow-start exit threshold; the core lowers it to the peer's
+        #: advertised flow window after the handshake.
+        self.max_cwnd: float = float(config.max_flow_window)
+
+    # -- lifecycle -------------------------------------------------------
+    def init(self, ctx: CcContext) -> None:
+        self.ctx = ctx
+
+    # -- event hooks -------------------------------------------------------
+    def on_ack(self, ack_seq: int) -> None:
+        """Called when an ACK advances the acknowledged sequence."""
+
+    def on_loss(self, loss: LossEvent) -> None:
+        """Called when a NAK arrives at the sender."""
+
+    def on_timeout(self) -> None:
+        """Called on an EXP (no-feedback) timeout."""
+
+    # -- observability ----------------------------------------------------
+    @property
+    def rate_pps(self) -> float:
+        return 1.0 / self.period if self.period > 0 else float("inf")
+
+
+class UdtNativeCC(CongestionControl):
+    """The paper's algorithm: bandwidth-estimating AIMD + slow start.
+
+    * Increase every SYN (rate-limited; ACKs arrive every SYN anyway) by
+      formula (1) applied to estimated available bandwidth B:
+      ``B = L - C`` normally, clamped to ``min(L/9, L - C)`` while still
+      recovering from the last decrease (§3.4).
+    * Decrease by factor 1/9 when a NAK reports loss in packets sent
+      *after* the previous decrease (a fresh congestion event), plus a
+      one-SYN freeze (§3.3); NAKs replaying old loss do not trigger
+      further decreases — the §6 "processing continuous loss" lesson.
+    * Slow start: window doubles-by-ack until the first loss or the window
+      cap, mirroring the reference implementation; on exit the sending
+      period is seeded from the measured receive rate.
+    """
+
+    def __init__(self, config: UdtConfig):
+        super().__init__(config)
+        self.slow_start = True
+        self.last_dec_period = self.period
+        self.last_dec_seq = -1
+        self.last_rc_time = 0.0
+        self.last_ack_seq = 0
+        self.decreases = 0
+        self.increases = 0
+        self.freezes = 0
+
+    def init(self, ctx: CcContext) -> None:
+        super().init(ctx)
+        self.last_rc_time = ctx.now()
+
+    # -- increase ---------------------------------------------------------
+    def on_ack(self, ack_seq: int) -> None:
+        ctx = self.ctx
+        assert ctx is not None, "controller not initialised"
+        now = ctx.now()
+        syn = self.config.syn
+        # Small tolerance: ACKs arrive every SYN up to float rounding, and
+        # skipping a tick would halve the effective control frequency.
+        if now - self.last_rc_time < syn - 1e-9:
+            return
+        self.last_rc_time = now
+        recv_rate = ctx.recv_rate
+
+        if self.slow_start:
+            acked = seq_cmp(ack_seq, self.last_ack_seq)
+            if acked > 0:
+                self.window = min(self.window + acked, self.max_cwnd)
+            self.last_ack_seq = ack_seq
+            if self.window >= self.max_cwnd:
+                self._exit_slow_start()
+            return
+        self.last_ack_seq = ack_seq
+
+        # Post-slow-start congestion window: enough for one (SYN+RTT) of
+        # flight at the measured delivery rate (§3.2's dynamic window,
+        # computed sender-side as in the reference implementation).
+        if recv_rate > 0:
+            self.window = recv_rate * (syn + ctx.rtt) + INITIAL_CWND
+
+        # Rate increase, formula (1)/(2).
+        capacity = ctx.bandwidth  # L, packets/s
+        current = 1.0 / self.period  # C, packets/s
+        mss = self.config.mss
+        if not self.config.bandwidth_estimation or capacity <= 0:
+            inc = 1.0 * (1500.0 / mss)  # fixed 1 packet/SYN fallback
+        else:
+            if self.period > self.last_dec_period:
+                # Still below the pre-decrease rate: everyone backed off by
+                # 1/9, so at most L/9 is actually spare (§3.4).
+                avail = min(capacity / 9.0, capacity - current)
+            else:
+                avail = capacity - current
+            inc = increase_param(avail * mss * 8.0, mss)
+        # §4.4 (opt-in, live runtime): if the host cannot actually send
+        # at 1/period — one send costs more than the nominal interval —
+        # correct P' with the real sending rate before applying formula
+        # (2); otherwise the period keeps dropping while the send path
+        # silently saturates.
+        period = self.period
+        if self.config.correct_sending_rate:
+            achieved = getattr(ctx, "achieved_period", 0.0)
+            if achieved > period and 1.0 / period > 1.2 * (1.0 / achieved):
+                period = achieved
+        self.period = (period * syn) / (period * inc + syn)
+        self.increases += 1
+
+    def _exit_slow_start(self) -> None:
+        self.slow_start = False
+        ctx = self.ctx
+        recv_rate = ctx.recv_rate if ctx is not None else 0.0
+        if recv_rate > 0:
+            self.period = 1.0 / recv_rate
+        else:
+            self.period = (ctx.rtt + self.config.syn) / max(self.window, 1.0)
+
+    # -- decrease -----------------------------------------------------------
+    def on_loss(self, loss: LossEvent) -> None:
+        ctx = self.ctx
+        assert ctx is not None, "controller not initialised"
+        if self.slow_start:
+            self._exit_slow_start()
+        if self.last_dec_seq < 0 or seq_cmp(loss.biggest_seq, self.last_dec_seq) > 0:
+            # Fresh congestion: packets sent after the previous decrease
+            # are being lost.  Apply formula (3) and freeze one SYN.
+            self.last_dec_period = self.period
+            self.period *= DECREASE_FACTOR
+            self.last_dec_seq = ctx.max_seq_sent
+            self.decreases += 1
+            if self.config.freeze_on_new_loss:
+                self.freeze_requested = True
+                self.freezes += 1
+        # NAKs for pre-decrease packets carry no new congestion signal.
+
+    def on_timeout(self) -> None:
+        if self.slow_start:
+            self._exit_slow_start()
+        # Continuous timeouts mean feedback is not returning at all; the
+        # EXP path in the core retransmits, and we back the rate off once.
+        self.last_dec_period = self.period
+        self.period *= DECREASE_FACTOR
+        if self.ctx is not None:
+            self.last_dec_seq = self.ctx.max_seq_sent
+        self.decreases += 1
+
+
+class FixedAimdCC(UdtNativeCC):
+    """Ablation: TCP-style fixed additive increase (no bandwidth estimate).
+
+    Identical to the native controller except formula (1) is replaced by a
+    constant increment, demonstrating what bandwidth estimation buys
+    (efficiency at high BDP, faster convergence to fairness).
+    """
+
+    def __init__(self, config: UdtConfig, inc_packets: float = 1.0):
+        cfg = UdtConfig(**{**config.__dict__, "bandwidth_estimation": False})
+        super().__init__(cfg)
+        self.inc_packets = inc_packets
+
+    def on_ack(self, ack_seq: int) -> None:
+        ctx = self.ctx
+        assert ctx is not None
+        now = ctx.now()
+        syn = self.config.syn
+        if now - self.last_rc_time < syn - 1e-9:
+            return
+        self.last_rc_time = now
+        if self.slow_start:
+            acked = seq_cmp(ack_seq, self.last_ack_seq)
+            if acked > 0:
+                self.window = min(self.window + acked, self.max_cwnd)
+            self.last_ack_seq = ack_seq
+            if self.window >= self.max_cwnd:
+                self._exit_slow_start()
+            return
+        self.last_ack_seq = ack_seq
+        if ctx.recv_rate > 0:
+            self.window = ctx.recv_rate * (syn + ctx.rtt) + INITIAL_CWND
+        inc = self.inc_packets * (1500.0 / self.config.mss)
+        self.period = (self.period * syn) / (self.period * inc + syn)
+        self.increases += 1

@@ -1,0 +1,116 @@
+"""TCP-style congestion controllers running over the UDT framework.
+
+The paper's conclusion states UDT is designed so that "alternate ...
+congestion control algorithms ... can be tested"; the reference
+implementation later shipped exactly this as its CCC sample set (CTCP,
+CScalableTCP, CHSLTCP, CBiCTCP ...).  This module provides the same
+family: a window-based AIMD controller driven by UDT's ACK/NAK events,
+parameterised by the identical response functions used by the native TCP
+agents (:mod:`repro.tcp.responses`) — so the *same* response function can
+be compared inside a kernel-style TCP and on top of UDT's UDP framing.
+
+Differences from real TCP mechanics, inherent to the UDT event model:
+
+* ACKs arrive per SYN (not per packet), so the per-ACK window increment
+  is applied once per newly-acknowledged packet reported by the ACK;
+* loss is explicit (NAK) rather than inferred from dupacks;
+* there is no RTO here — UDT's EXP timer plays that role.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tcp.responses import Response
+from repro.udt.cc import CongestionControl, LossEvent
+from repro.udt.params import UdtConfig
+from repro.udt.seqno import seq_cmp
+
+
+class TcpOverUdtCC(CongestionControl):
+    """Window-based (ACK-clocked) control over UDT, pluggable response."""
+
+    def __init__(self, config: UdtConfig, response: Optional[Response] = None):
+        super().__init__(config)
+        self.response = response if response is not None else Response()
+        self.window = 2.0
+        self.ssthresh = float(1 << 20)
+        self.period = 0.0  # purely window-limited, like TCP
+        self.last_ack_seq = 0
+        self.last_dec_seq = -1
+        self._rtt_mark = 0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.window < self.ssthresh
+
+    def on_ack(self, ack_seq: int) -> None:
+        ctx = self.ctx
+        assert ctx is not None
+        acked = seq_cmp(ack_seq, self.last_ack_seq)
+        if acked <= 0:
+            return
+        self.last_ack_seq = ack_seq
+        self.response.on_ack_arrival(acked, ctx.now())
+        self.response.on_rtt_sample(ctx.rtt)
+        if self.in_slow_start:
+            self.window = min(self.window + acked, self.max_cwnd)
+        else:
+            for _ in range(acked):
+                self.window += self.response.ack_increment(self.window)
+            self.window = min(self.window, self.max_cwnd)
+            if seq_cmp(ack_seq, self._rtt_mark) >= 0:
+                self.response.per_rtt_adjust(_SenderShim(self))
+                self._rtt_mark = ctx.max_seq_sent
+
+    def on_loss(self, loss: LossEvent) -> None:
+        ctx = self.ctx
+        assert ctx is not None
+        # One multiplicative decrease per congestion epoch, like NewReno's
+        # recover guard (and UDT's own §3.3 rule).
+        if self.last_dec_seq >= 0 and seq_cmp(loss.biggest_seq, self.last_dec_seq) <= 0:
+            return
+        self.last_dec_seq = ctx.max_seq_sent
+        override = self.response.ssthresh_after_loss(_SenderShim(self))
+        if override is not None:
+            self.ssthresh = max(override, 2.0)
+        else:
+            self.ssthresh = max(self.window * self.response.backoff(self.window), 2.0)
+        self.window = self.ssthresh
+
+    def on_timeout(self) -> None:
+        self.response.on_timeout()
+        self.ssthresh = max(self.window / 2.0, 2.0)
+        self.window = 2.0
+
+
+class _SenderShim:
+    """Adapter: response functions expect an object with ``cwnd``."""
+
+    __slots__ = ("_cc",)
+
+    def __init__(self, cc: TcpOverUdtCC):
+        self._cc = cc
+
+    @property
+    def cwnd(self) -> float:
+        return self._cc.window
+
+    @cwnd.setter
+    def cwnd(self, value: float) -> None:
+        self._cc.window = max(value, 2.0)
+
+
+def ctcp(config: UdtConfig) -> TcpOverUdtCC:
+    """CTCP: standard Reno AIMD over UDT (the UDT4 sample)."""
+    return TcpOverUdtCC(config, Response())
+
+
+def make_cc_factory(response_factory):
+    """Build a ``cc_factory`` for UdtFlow from a Response factory, e.g.
+    ``make_cc_factory(HighSpeedResponse)``."""
+
+    def factory(config: UdtConfig) -> TcpOverUdtCC:
+        return TcpOverUdtCC(config, response_factory())
+
+    return factory

@@ -1,0 +1,64 @@
+"""Compressed loss-report encoding (paper appendix).
+
+A loss report is a list of 32-bit words.  If a word's top (flag) bit is
+set, it is the first sequence number of a lost *range* whose last number
+is the following word; otherwise the word is a single lost sequence
+number.  E.g. ``0x80000003, 0x00000005, 0x00000007`` encodes losses
+3,4,5 and 7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.udt.params import MAX_SEQ_NO
+from repro.udt.seqno import seq_off
+
+#: The range flag occupies the bit excluded from the sequence space.
+RANGE_FLAG = MAX_SEQ_NO  # 0x80000000
+
+
+def encode(ranges: Iterable[Tuple[int, int]]) -> List[int]:
+    """Encode inclusive (first, last) loss ranges into report words."""
+    words: List[int] = []
+    for first, last in ranges:
+        if not (0 <= first < MAX_SEQ_NO and 0 <= last < MAX_SEQ_NO):
+            raise ValueError(f"sequence number out of range: ({first}, {last})")
+        span = seq_off(first, last)
+        if span < 0:
+            raise ValueError(f"inverted range ({first}, {last})")
+        if span == 0:
+            words.append(first)
+        else:
+            words.append(first | RANGE_FLAG)
+            words.append(last)
+    return words
+
+
+def decode(words: Sequence[int]) -> List[Tuple[int, int]]:
+    """Decode report words back into inclusive (first, last) ranges."""
+    out: List[Tuple[int, int]] = []
+    i = 0
+    n = len(words)
+    while i < n:
+        w = words[i]
+        if w & RANGE_FLAG:
+            if i + 1 >= n:
+                raise ValueError("range start with no end word")
+            first = w & (MAX_SEQ_NO - 1)
+            last = words[i + 1]
+            if last & RANGE_FLAG:
+                raise ValueError("range end carries the flag bit")
+            if seq_off(first, last) < 0:
+                raise ValueError(f"inverted decoded range ({first}, {last})")
+            out.append((first, last))
+            i += 2
+        else:
+            out.append((w, w))
+            i += 1
+    return out
+
+
+def report_size_bytes(words: Sequence[int]) -> int:
+    """Wire size of the loss-report body (4 bytes per word)."""
+    return 4 * len(words)

@@ -1,0 +1,50 @@
+"""31-bit wrap-around sequence-number arithmetic.
+
+UDT numbers *packets*, not bytes (§6: "A packet-based scheme is more
+suitable for high-speed protocols"), using the low 31 bits of a 32-bit
+field; the top bit is reserved as the loss-compression flag (appendix).
+All comparisons are modular with a half-space threshold, exactly like the
+reference implementation's ``CSeqNo``.
+"""
+
+from __future__ import annotations
+
+from repro.udt.params import MAX_SEQ_NO
+
+#: Distance threshold deciding wrap direction (half the sequence space).
+SEQ_THRESHOLD = MAX_SEQ_NO // 2
+
+
+def seq_cmp(a: int, b: int) -> int:
+    """Wrap-aware comparison: negative if a precedes b, positive if after."""
+    d = a - b
+    if abs(d) < SEQ_THRESHOLD:
+        return d
+    return b - a
+
+
+def seq_off(a: int, b: int) -> int:
+    """Number of increments from a to b (wrap-aware; negative if b < a)."""
+    d = b - a
+    if d >= SEQ_THRESHOLD:
+        return d - MAX_SEQ_NO
+    if d < -SEQ_THRESHOLD:
+        return d + MAX_SEQ_NO
+    return d
+
+
+def seq_len(a: int, b: int) -> int:
+    """Count of sequence numbers in the inclusive range [a, b]."""
+    return (b - a) % MAX_SEQ_NO + 1
+
+
+def seq_inc(a: int, step: int = 1) -> int:
+    return (a + step) % MAX_SEQ_NO
+
+
+def seq_dec(a: int, step: int = 1) -> int:
+    return (a - step) % MAX_SEQ_NO
+
+
+def valid_seq(a: int) -> bool:
+    return 0 <= a < MAX_SEQ_NO

@@ -1,0 +1,192 @@
+"""Run UDT endpoints over the simulated network.
+
+:class:`UdtFlow` wires two :class:`~repro.udt.core.UdtCore` endpoints to
+UDP endpoints on two simulated hosts, handles connection setup, and tracks
+goodput through the network's :class:`~repro.sim.monitor.FlowMonitor`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.node import Host
+from repro.sim.topology import Network
+from repro.sim.udp import UdpEndpoint
+from repro.udt.cc import CongestionControl, UdtNativeCC
+from repro.udt.core import UdtCore
+from repro.udt.params import UdtConfig
+
+
+class SimScheduler:
+    """Adapts the discrete-event engine to the core's Scheduler protocol."""
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+
+    def now(self) -> float:
+        return self.sim.now
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> Event:
+        return self.sim.schedule_at(max(time, self.sim.now), fn)
+
+    def cancel(self, handle: Event) -> None:
+        handle.cancel()
+
+
+class UdtFlow:
+    """A unidirectional UDT transfer from ``src`` to ``dst``.
+
+    Parameters
+    ----------
+    nbytes:
+        Application bytes to transfer; ``None`` means an unlimited bulk
+        source (the paper's memory-memory workloads).
+    app_driven:
+        When True the flow performs no data pumping of its own — an
+        application object (e.g. :class:`repro.apps.fileio.DiskTransfer`)
+        feeds ``sender.send`` explicitly.
+    start:
+        Virtual time at which the connection handshake begins.
+    """
+
+    _flow_counter = 0
+
+    def __init__(
+        self,
+        net: Network,
+        src: Host,
+        dst: Host,
+        config: Optional[UdtConfig] = None,
+        cc_factory: Callable[[UdtConfig], CongestionControl] = UdtNativeCC,
+        nbytes: Optional[int] = None,
+        start: float = 0.0,
+        flow_id: Optional[object] = None,
+        meter_snd: Optional[Any] = None,
+        meter_rcv: Optional[Any] = None,
+        app_driven: bool = False,
+    ):
+        self.net = net
+        self.config = config if config is not None else UdtConfig()
+        if flow_id is None:
+            flow_id = f"udt{UdtFlow._flow_counter}"
+            UdtFlow._flow_counter += 1
+        self.flow_id = flow_id
+        self.nbytes = nbytes
+        self.app_driven = app_driven
+        self.start_time = start
+        self.done = False
+        self.finish_time: Optional[float] = None
+        self._offered = 0  # bytes handed to the send buffer so far
+
+        sched = SimScheduler(net.sim)
+        self._src_ep = UdpEndpoint(src)
+        self._dst_ep = UdpEndpoint(dst)
+
+        def snd_transmit(msg: Any, size: int) -> None:
+            self._src_ep.sendto(msg, size, self._dst_ep.address, flow=None)
+
+        def rcv_transmit(msg: Any, size: int) -> None:
+            self._dst_ep.sendto(msg, size, self._src_ep.address, flow=None)
+
+        self.sender = UdtCore(
+            self.config,
+            sched,
+            snd_transmit,
+            cc=cc_factory(self.config),
+            name=f"{flow_id}-snd",
+            meter=meter_snd,
+        )
+        self.receiver = UdtCore(
+            self.config,
+            sched,
+            rcv_transmit,
+            deliver=self._on_deliver,
+            name=f"{flow_id}-rcv",
+            meter=meter_rcv,
+        )
+        self._src_ep.on_receive(lambda msg, addr, size: self.sender.on_datagram(msg, size))
+        self._dst_ep.on_receive(lambda msg, addr, size: self.receiver.on_datagram(msg, size))
+        # Arrival-rate series (sink-side, NS-2 style) under "<id>:arr".
+        self.receiver.arrival_cb = lambda size: net.monitor.on_deliver(
+            (self.flow_id, "arr"), size
+        )
+
+        net.sim.schedule_at(max(start, net.sim.now), self._begin)
+
+    def _begin(self) -> None:
+        self.receiver.listen()
+        self.sender.connect()
+        if self.app_driven:
+            return
+        if self.nbytes is None:
+            self.sender.send_forever()
+        else:
+            self._push_app_data()
+
+    def _push_app_data(self) -> None:
+        """Feed the finite transfer into the send buffer as space frees up."""
+        assert self.nbytes is not None
+        remaining = self.nbytes - self._offered
+        if remaining > 0:
+            self._offered += self.sender.send(remaining)
+        if self._offered < self.nbytes and not self.done:
+            # Poll again shortly; the buffer drains at the sending rate.
+            self.net.sim.schedule(self.config.syn, self._push_app_data)
+
+    def _on_deliver(self, size: int, data: Optional[bytes]) -> None:
+        self.net.monitor.on_deliver(self.flow_id, size)
+        if (
+            self.nbytes is not None
+            and not self.done
+            and self.receiver.delivered_bytes >= self.nbytes
+        ):
+            self.done = True
+            self.finish_time = self.net.sim.now
+
+    # -- experiment helpers ------------------------------------------------
+    def throughput_bps(self, t0: float = 0.0, t1: Optional[float] = None) -> float:
+        return self.net.monitor.throughput_bps(self.flow_id, t0, t1)
+
+    def series(self, interval: float, t0: float = 0.0, t1: Optional[float] = None):
+        return self.net.monitor.series(self.flow_id, interval, t0, t1)
+
+    @property
+    def arrival_flow_id(self):
+        """Monitor key of the sink-arrival (vs in-order goodput) series."""
+        return (self.flow_id, "arr")
+
+    @property
+    def delivered_bytes(self) -> int:
+        return self.receiver.delivered_bytes
+
+    def close(self) -> None:
+        self.sender.close()
+        self.receiver.close()
+        self._src_ep.close()
+        self._dst_ep.close()
+
+
+def start_udt_flow(
+    net: Network,
+    src: Host,
+    dst: Host,
+    start: float = 0.0,
+    nbytes: Optional[int] = None,
+    config: Optional[UdtConfig] = None,
+    cc_factory: Callable[[UdtConfig], CongestionControl] = UdtNativeCC,
+    flow_id: Optional[object] = None,
+) -> UdtFlow:
+    """Convenience wrapper used throughout the experiments."""
+    return UdtFlow(
+        net,
+        src,
+        dst,
+        config=config,
+        cc_factory=cc_factory,
+        nbytes=nbytes,
+        start=start,
+        flow_id=flow_id,
+    )

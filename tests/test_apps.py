@@ -1,0 +1,131 @@
+"""Integration tests for the application layer (bulk, fileio, join)."""
+
+import pytest
+
+from repro.apps.bulk import UdpBlast
+from repro.apps.fileio import DiskTransfer
+from repro.apps.streaming_join import StreamingJoin, run_streaming_join
+from repro.hostmodel.disk import DiskModel
+from repro.sim.topology import join_topology, path_topology
+from repro.sim.udp import UdpEndpoint
+from repro.tcp import TcpFlow
+from repro.udt.sim_adapter import UdtFlow
+
+
+class TestUdpBlast:
+    def test_sends_at_configured_rate(self):
+        top = path_topology(100e6, 0.01)
+        sink = UdpEndpoint(top.dst, 9)
+        got = []
+        sink.on_receive(lambda p, a, s: got.append(s))
+        UdpBlast(top.net, top.src, sink.address, rate_bps=10e6, on_time=1.0)
+        top.net.run(until=1.0)
+        # ~10 Mb/s of 1500B packets for 1s = ~833 packets
+        assert 700 < len(got) < 950
+
+    def test_on_off_duty_cycle(self):
+        top = path_topology(100e6, 0.01)
+        sink = UdpEndpoint(top.dst, 9)
+        got = []
+        sink.on_receive(lambda p, a, s: got.append(top.net.sim.now))
+        UdpBlast(
+            top.net, top.src, sink.address, rate_bps=10e6,
+            on_time=0.1, off_time=0.4, stop=1.0,
+        )
+        top.net.run(until=1.0)
+        # two bursts in [0, 0.1] and [0.5, 0.6]
+        assert any(t < 0.2 for t in got)
+        assert any(0.45 < t < 0.7 for t in got)
+        assert not any(0.2 < t < 0.45 for t in got)
+
+    def test_invalid_params(self):
+        top = path_topology(1e6, 0.01)
+        with pytest.raises(ValueError):
+            UdpBlast(top.net, top.src, (0, 1), rate_bps=0)
+
+
+class TestStreamingJoin:
+    def test_balanced_streams_all_join(self):
+        j = StreamingJoin(record_size=100, window=64)
+        for _ in range(50):
+            j.on_bytes("a", 100)
+            j.on_bytes("b", 100)
+        assert j.stats.joined == 50
+        assert j.stats.expired == 0
+
+    def test_rate_mismatch_expires_records(self):
+        j = StreamingJoin(record_size=100, window=10)
+        j.on_bytes("b", 100 * 200)  # b races far ahead
+        j.on_bytes("a", 100 * 5)  # a only delivers 5 records
+        # a's records 0..4 fell out of b's window long ago
+        assert j.stats.joined == 0
+        assert j.stats.expired > 0
+
+    def test_reframing_partial_chunks(self):
+        j = StreamingJoin(record_size=100, window=16)
+        j.on_bytes("a", 250)
+        assert j.stats.records_a == 2
+        j.on_bytes("a", 50)
+        assert j.stats.records_a == 3
+
+    def test_join_throughput_tracks_slower_stream(self):
+        # UDT on the Figure 1 topology (scaled): both streams fair-share,
+        # join rate ~ 2x min(A, B).
+        top = join_topology(rate_bps=50e6, rtt_a=0.05, rtt_b=0.005)
+        join, fa, fb = run_streaming_join(
+            top,
+            lambda net, s, d, fid: UdtFlow(net, s, d, flow_id=fid),
+            duration=10.0,
+            window=8192,
+        )
+        ra = fa.throughput_bps(3, 10)
+        rb = fb.throughput_bps(3, 10)
+        join_bps = join.stats.joined_bytes(1456) * 8 / 10.0
+        assert join_bps <= 2 * min(ra, rb) * 1.1
+        assert join_bps > 0.5 * min(ra, rb)
+
+    def test_invalid_stream_name(self):
+        with pytest.raises(ValueError):
+            StreamingJoin().on_bytes("c", 10)
+
+
+class TestDiskTransfer:
+    def test_disk_write_is_bottleneck(self):
+        top = path_topology(100e6, 0.01)
+        fast = DiskModel("fast", read_bps=90e6, write_bps=85e6)
+        slow = DiskModel("slow", read_bps=90e6, write_bps=30e6)
+        xfer = DiskTransfer(top.net, top.src, top.dst, fast, slow, nbytes=20_000_000)
+        top.net.run(until=30.0)
+        assert xfer.done
+        thr = xfer.effective_throughput_bps()
+        assert thr == pytest.approx(30e6, rel=0.25)
+
+    def test_disk_read_is_bottleneck(self):
+        top = path_topology(100e6, 0.01)
+        slow_read = DiskModel("sr", read_bps=25e6, write_bps=90e6)
+        fast = DiskModel("f", read_bps=90e6, write_bps=90e6)
+        xfer = DiskTransfer(top.net, top.src, top.dst, slow_read, fast, nbytes=10_000_000)
+        top.net.run(until=30.0)
+        assert xfer.done
+        assert xfer.effective_throughput_bps() == pytest.approx(25e6, rel=0.25)
+
+    def test_network_is_bottleneck(self):
+        top = path_topology(20e6, 0.01)
+        fast = DiskModel("f", read_bps=500e6, write_bps=500e6)
+        xfer = DiskTransfer(top.net, top.src, top.dst, fast, fast, nbytes=10_000_000)
+        top.net.run(until=30.0)
+        assert xfer.done
+        assert xfer.effective_throughput_bps() == pytest.approx(19e6, rel=0.15)
+
+    def test_exact_delivery(self):
+        top = path_topology(50e6, 0.01)
+        d = DiskModel("d", read_bps=40e6, write_bps=40e6)
+        xfer = DiskTransfer(top.net, top.src, top.dst, d, d, nbytes=5_000_000)
+        top.net.run(until=20.0)
+        assert xfer.delivered_bytes == 5_000_000
+
+    def test_rejects_zero_bytes(self):
+        top = path_topology(50e6, 0.01)
+        d = DiskModel("d", read_bps=1e6, write_bps=1e6)
+        with pytest.raises(ValueError):
+            DiskTransfer(top.net, top.src, top.dst, d, d, nbytes=0)

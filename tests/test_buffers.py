@@ -1,0 +1,163 @@
+"""Unit + property tests for send/receive buffers and overlapped IO."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.udt.buffers import ReceiveBuffer, SendBuffer
+from repro.udt.params import MAX_SEQ_NO
+from repro.udt.seqno import seq_inc
+
+
+class TestSendBuffer:
+    def test_packetises_at_payload_size(self):
+        b = SendBuffer(10, 1456)
+        assert b.add(3000) == 3000
+        assert b.packetise(0) == 1456
+        assert b.packetise(1) == 1456
+        assert b.packetise(2) == 88  # remainder
+        assert b.packetise(3) is None
+
+    def test_capacity_limits_accept(self):
+        b = SendBuffer(2, 1000)
+        assert b.add(10_000) == 2000
+        assert b.add(1) == 0
+
+    def test_ack_frees_space(self):
+        b = SendBuffer(2, 1000)
+        b.add(2000)
+        b.packetise(0)
+        b.packetise(1)
+        assert b.add(500) == 0
+        assert b.ack_upto(1) == 1  # releases seq 0 only
+        assert b.add(500) == 500
+
+    def test_lookup_for_retransmission(self):
+        b = SendBuffer(4, 1000)
+        b.add(1500)
+        b.packetise(7)
+        b.packetise(8)
+        assert b.lookup(7) == (1000, None)
+        assert b.lookup(8) == (500, None)
+        b.ack_upto(8)
+        assert b.lookup(7) is None
+        assert b.lookup(8) is not None
+
+    def test_real_data_round_trip(self):
+        b = SendBuffer(4, 4)
+        payload = b"abcdefghij"
+        b.add(len(payload), payload)
+        sizes = [b.packetise(s) for s in (0, 1, 2)]
+        assert sizes == [4, 4, 2]
+        data = b"".join(b.lookup(s)[1] for s in (0, 1, 2))
+        assert data == payload
+
+    def test_wraparound_ack(self):
+        b = SendBuffer(8, 100)
+        top = MAX_SEQ_NO - 2
+        b.add(400)
+        for i in range(4):
+            b.packetise(seq_inc(top, i))
+        assert b.ack_upto(seq_inc(top, 3)) == 3
+        assert b.inflight_packets == 1
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            SendBuffer(2, 100).add(-1)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SendBuffer(0, 100)
+
+
+class TestReceiveBuffer:
+    def _buf(self, cap=8):
+        delivered = []
+        rb = ReceiveBuffer(cap, lambda size, data: delivered.append((size, data)))
+        rb.start(0)
+        return rb, delivered
+
+    def test_in_order_delivery(self):
+        rb, out = self._buf()
+        rb.on_data(0, 100)
+        rb.on_data(1, 100)
+        assert len(out) == 2
+        assert rb.delivered_bytes == 200
+
+    def test_reorders_gap(self):
+        rb, out = self._buf()
+        rb.on_data(0, 100)
+        rb.on_data(2, 100)  # hole at 1
+        assert len(out) == 1
+        rb.on_data(1, 100)
+        assert len(out) == 3
+        assert rb.next_expected == 3
+
+    def test_duplicate_rejected(self):
+        rb, out = self._buf()
+        rb.on_data(0, 100)
+        assert not rb.on_data(0, 100)
+        assert rb.duplicates == 1
+        rb.on_data(2, 100)
+        assert not rb.on_data(2, 100)  # held duplicate
+        assert rb.duplicates == 2
+
+    def test_overflow_rejected(self):
+        rb, out = self._buf(cap=4)
+        assert not rb.on_data(4, 100)  # offset 4 >= capacity 4
+        assert rb.on_data(3, 100)
+
+    def test_available_shrinks_with_held(self):
+        rb, out = self._buf(cap=8)
+        rb.on_data(3, 100)
+        rb.on_data(5, 100)
+        assert rb.available == 6
+
+    def test_speculation_counters(self):
+        rb, _ = self._buf()
+        rb.on_data(0, 100)  # hit (expected 0)
+        rb.on_data(1, 100)  # hit
+        rb.on_data(3, 100)  # miss (loss of 2)
+        rb.on_data(2, 100)  # miss (retransmission)
+        rb.on_data(4, 100)  # hit again
+        assert rb.speculation_hits == 3
+        assert rb.speculation_misses == 2
+
+    def test_overlapped_io_zero_copy_accounting(self):
+        rb, _ = self._buf()
+        rb.post_user_buffer(250)
+        rb.on_data(0, 100)
+        rb.on_data(1, 100)
+        rb.on_data(2, 100)
+        assert rb.zero_copy_bytes == 200
+        assert rb.copied_bytes == 100
+
+    def test_not_started_raises(self):
+        rb = ReceiveBuffer(4)
+        with pytest.raises(RuntimeError):
+            rb.on_data(0, 10)
+
+    def test_wraparound_sequence_delivery(self):
+        out = []
+        rb = ReceiveBuffer(8, lambda s, d: out.append(s))
+        start = MAX_SEQ_NO - 2
+        rb.start(start)
+        for i in range(5):
+            rb.on_data(seq_inc(start, i), 10)
+        assert len(out) == 5
+        assert rb.next_expected == 3
+
+
+@settings(max_examples=100)
+@given(
+    order=st.permutations(list(range(12))),
+    sizes=st.lists(st.integers(1, 1456), min_size=12, max_size=12),
+)
+def test_receive_buffer_delivers_everything_in_order(order, sizes):
+    """Whatever arrival order, delivery is exactly seq order, once each."""
+    delivered = []
+    rb = ReceiveBuffer(16, lambda size, data: delivered.append(size))
+    rb.start(0)
+    for seq in order:
+        rb.on_data(seq, sizes[seq])
+    assert delivered == sizes
+    assert rb.delivered_packets == 12

@@ -1,0 +1,242 @@
+"""Unit tests for the congestion-control formulas and state machine."""
+
+import pytest
+
+from repro.udt.cc import (
+    DECREASE_FACTOR,
+    FixedAimdCC,
+    LossEvent,
+    UdtNativeCC,
+    increase_param,
+)
+from repro.udt.params import UdtConfig
+
+
+class FakeCtx:
+    def __init__(self):
+        self.t = 0.0
+        self.rtt = 0.1
+        self.recv_rate = 0.0
+        self.bandwidth = 0.0
+        self.max_seq_sent = 0
+
+    def now(self):
+        return self.t
+
+
+class TestIncreaseParam:
+    """Formula (1) must reproduce the paper's Table 1 exactly (MSS=1500)."""
+
+    @pytest.mark.parametrize(
+        "b_mbps,expected",
+        [
+            (10_000, 10.0),
+            (1_500, 10.0),
+            (1_000, 1.0),
+            (500, 1.0),
+            (101, 1.0),
+            (100, 0.1),
+            (50, 0.1),
+            (10, 0.01),
+            (5, 0.01),
+            (1, 0.001),
+            (0.5, 0.001),
+            (0.1, 1 / 1500),  # floor: 0.00067 packets
+            (0.01, 1 / 1500),
+        ],
+    )
+    def test_table1(self, b_mbps, expected):
+        assert increase_param(b_mbps * 1e6, 1500) == pytest.approx(expected)
+
+    def test_floor_is_one_packet_per_mss(self):
+        assert increase_param(0.0, 1500) == pytest.approx(1 / 1500)
+        assert increase_param(-5.0, 1500) == pytest.approx(1 / 1500)
+
+    def test_mss_correction(self):
+        # §3.3: "corrected by the ratio of 1500/MSS"
+        assert increase_param(1e9, 750) == pytest.approx(2.0)
+        assert increase_param(1e9, 3000) == pytest.approx(0.5)
+
+
+def make_cc(**cfg):
+    config = UdtConfig(**cfg)
+    cc = UdtNativeCC(config)
+    ctx = FakeCtx()
+    cc.init(ctx)
+    return cc, ctx
+
+
+class TestSlowStart:
+    def test_window_grows_with_acks(self):
+        cc, ctx = make_cc()
+        cc.max_cwnd = 1000.0
+        w0 = cc.window
+        ctx.t = 0.02
+        cc.on_ack(100)
+        assert cc.window == w0 + 100
+        assert cc.slow_start
+
+    def test_exit_on_window_cap(self):
+        cc, ctx = make_cc()
+        cc.max_cwnd = 64.0
+        ctx.recv_rate = 5000.0
+        ctx.t = 0.02
+        cc.on_ack(100)
+        assert not cc.slow_start
+        assert cc.period == pytest.approx(1 / 5000.0)
+
+    def test_exit_on_loss(self):
+        cc, ctx = make_cc()
+        ctx.recv_rate = 1000.0
+        ctx.max_seq_sent = 500
+        cc.on_loss(LossEvent([(10, 20)], biggest_seq=20, lost_packets=11))
+        assert not cc.slow_start
+
+    def test_rate_limited_to_syn(self):
+        cc, ctx = make_cc()
+        cc.max_cwnd = 10000.0
+        ctx.t = 0.02
+        cc.on_ack(100)
+        w = cc.window
+        ctx.t = 0.025  # less than one SYN later
+        cc.on_ack(200)
+        assert cc.window == w
+
+
+class TestAimd:
+    def _post_ss(self, bandwidth_pps=83_333):
+        cc, ctx = make_cc()
+        ctx.recv_rate = 8000.0
+        ctx.bandwidth = bandwidth_pps
+        cc.max_cwnd = 64
+        ctx.t = 0.02
+        cc.on_ack(100)  # exits slow start
+        assert not cc.slow_start
+        return cc, ctx
+
+    def test_increase_speeds_up_sending(self):
+        cc, ctx = self._post_ss()
+        p0 = cc.period
+        ctx.t += 0.02
+        cc.on_ack(200)
+        assert cc.period < p0
+
+    def test_increase_magnitude_formula2(self):
+        cc, ctx = self._post_ss()
+        p0 = cc.period
+        # compute expected: B = L - C with L=83333 pkts/s
+        cur = 1.0 / p0
+        avail_bps = (ctx.bandwidth - cur) * 1500 * 8
+        inc = increase_param(avail_bps, 1500)
+        ctx.t += 0.02
+        cc.on_ack(200)
+        expected = (p0 * 0.01) / (p0 * inc + 0.01)
+        assert cc.period == pytest.approx(expected)
+
+    def test_decrease_by_one_ninth(self):
+        cc, ctx = self._post_ss()
+        p0 = cc.period
+        ctx.max_seq_sent = 1000
+        cc.on_loss(LossEvent([(500, 510)], biggest_seq=510, lost_packets=11))
+        assert cc.period == pytest.approx(p0 * DECREASE_FACTOR)
+        assert cc.freeze_requested
+
+    def test_stale_nak_does_not_decrease_again(self):
+        cc, ctx = self._post_ss()
+        ctx.max_seq_sent = 1000
+        cc.on_loss(LossEvent([(500, 510)], biggest_seq=510, lost_packets=11))
+        p1 = cc.period
+        cc.freeze_requested = False
+        # a second NAK about *older* packets (<= last_dec_seq=1000)
+        cc.on_loss(LossEvent([(600, 605)], biggest_seq=605, lost_packets=6))
+        assert cc.period == p1
+        assert not cc.freeze_requested
+
+    def test_fresh_nak_after_decrease_decreases_again(self):
+        cc, ctx = self._post_ss()
+        ctx.max_seq_sent = 1000
+        cc.on_loss(LossEvent([(500, 510)], biggest_seq=510, lost_packets=11))
+        p1 = cc.period
+        ctx.max_seq_sent = 2000
+        cc.on_loss(LossEvent([(1500, 1510)], biggest_seq=1510, lost_packets=11))
+        assert cc.period == pytest.approx(p1 * DECREASE_FACTOR)
+
+    def test_recovery_clamped_to_ninth_of_capacity(self):
+        # After a decrease, B = min(L/9, L - C) (§3.4).
+        cc, ctx = self._post_ss(bandwidth_pps=833_333)  # 10 Gb/s
+        ctx.max_seq_sent = 1000
+        cc.on_loss(LossEvent([(1, 2)], biggest_seq=2, lost_packets=2))
+        p_loss = cc.period
+        ctx.t += 0.02
+        cc.on_ack(300)
+        # clamp: avail = L/9 = 92592 pkts/s = 1.1 Gb/s -> inc = 10
+        expected = (p_loss * 0.01) / (p_loss * 10.0 + 0.01)
+        assert cc.period == pytest.approx(expected)
+
+    def test_window_tracks_delivery_rate(self):
+        cc, ctx = self._post_ss()
+        ctx.recv_rate = 8000.0
+        ctx.rtt = 0.1
+        ctx.t += 0.02
+        cc.on_ack(300)
+        assert cc.window == pytest.approx(8000 * 0.11 + 16)
+
+    def test_timeout_backs_off(self):
+        cc, ctx = self._post_ss()
+        p0 = cc.period
+        cc.on_timeout()
+        assert cc.period == pytest.approx(p0 * DECREASE_FACTOR)
+
+    def test_unknown_bandwidth_falls_back_to_unit_increase(self):
+        cc, ctx = self._post_ss(bandwidth_pps=0)
+        p0 = cc.period
+        ctx.t += 0.02
+        cc.on_ack(300)
+        expected = (p0 * 0.01) / (p0 * 1.0 + 0.01)
+        assert cc.period == pytest.approx(expected)
+
+
+class TestRecoveryTime:
+    def test_ninety_percent_recovery_in_7_5_seconds(self):
+        """§3.3's worked example: ramping to 90% of a 1 Gb/s link takes
+        ~750 SYN = 7.5 s once the increase parameter is in the 1-packet
+        band."""
+        cfg = UdtConfig()
+        cc = UdtNativeCC(cfg)
+        ctx = FakeCtx()
+        cc.init(ctx)
+        capacity = 1e9 / (1500 * 8)  # packets/s
+        ctx.bandwidth = capacity
+        ctx.recv_rate = 100.0
+        cc.max_cwnd = 1.0  # force immediate slow-start exit
+        ctx.t = 0.02
+        cc.on_ack(1)
+        cc.period = 1.0  # ~0 rate: recover from scratch
+        cc.last_dec_period = 2.0  # pretend we are past the last decrease
+        t = ctx.t
+        syn_count = 0
+        while 1.0 / cc.period < 0.9 * capacity and syn_count < 5000:
+            t += cfg.syn
+            ctx.t = t
+            cc.on_ack(syn_count + 2)
+            syn_count += 1
+        # paper: 750 SYN = 7.5 s (two-band ramp 0.1 -> 1 packets/SYN)
+        assert 600 <= syn_count <= 900
+
+
+class TestFixedAimd:
+    def test_constant_increase_ignores_bandwidth(self):
+        cfg = UdtConfig()
+        cc = FixedAimdCC(cfg, inc_packets=1.0)
+        ctx = FakeCtx()
+        ctx.bandwidth = 1e9  # enormous — must not matter
+        ctx.recv_rate = 1000.0
+        cc.init(ctx)
+        cc.max_cwnd = 8
+        ctx.t = 0.02
+        cc.on_ack(50)
+        p0 = cc.period
+        ctx.t += 0.02
+        cc.on_ack(100)
+        expected = (p0 * 0.01) / (p0 * 1.0 + 0.01)
+        assert cc.period == pytest.approx(expected)

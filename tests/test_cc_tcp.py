@@ -1,0 +1,126 @@
+"""Tests for TCP-family congestion controllers over UDT (CCC samples)."""
+
+import pytest
+
+from repro.sim.topology import dumbbell, path_topology
+from repro.tcp.responses import (
+    BicResponse,
+    HighSpeedResponse,
+    Response,
+    ScalableResponse,
+)
+from repro.udt import UdtConfig
+from repro.udt.cc import LossEvent
+from repro.udt.cc_tcp import TcpOverUdtCC, ctcp, make_cc_factory
+from repro.udt.sim_adapter import UdtFlow
+
+
+class Ctx:
+    def __init__(self):
+        self.t = 0.0
+        self.rtt = 0.05
+        self.recv_rate = 0.0
+        self.bandwidth = 0.0
+        self.max_seq_sent = 0
+
+    def now(self):
+        return self.t
+
+
+class TestController:
+    def _cc(self, response=None):
+        cc = TcpOverUdtCC(UdtConfig(), response)
+        ctx = Ctx()
+        cc.init(ctx)
+        cc.max_cwnd = 10_000.0
+        return cc, ctx
+
+    def test_pure_window_control(self):
+        cc, _ = self._cc()
+        assert cc.period == 0.0  # never paces; ACK clocking only
+
+    def test_slow_start_doubles(self):
+        cc, ctx = self._cc()
+        cc.on_ack(2)
+        cc.on_ack(6)
+        assert cc.window == pytest.approx(2 + 6)
+        assert cc.in_slow_start
+
+    def test_loss_halves_and_exits_slow_start(self):
+        cc, ctx = self._cc()
+        cc.on_ack(100)
+        ctx.max_seq_sent = 150
+        cc.on_loss(LossEvent([(50, 60)], biggest_seq=60, lost_packets=11))
+        assert cc.ssthresh == pytest.approx(cc.window)
+        assert not cc.in_slow_start
+
+    def test_one_decrease_per_epoch(self):
+        cc, ctx = self._cc()
+        cc.on_ack(100)
+        ctx.max_seq_sent = 150
+        cc.on_loss(LossEvent([(50, 60)], biggest_seq=60, lost_packets=11))
+        w = cc.window
+        cc.on_loss(LossEvent([(70, 80)], biggest_seq=80, lost_packets=11))
+        assert cc.window == w  # still the same epoch
+
+    def test_congestion_avoidance_linear(self):
+        cc, ctx = self._cc()
+        cc.ssthresh = 10.0
+        cc.window = 10.0
+        cc.on_ack(10)
+        w = cc.window
+        cc.on_ack(20)  # 10 acked packets -> ~ +1 segment total
+        assert cc.window == pytest.approx(w + 1.0, rel=0.1)
+
+    def test_scalable_response_plugs_in(self):
+        cc, ctx = self._cc(ScalableResponse())
+        cc.ssthresh = 100.0
+        cc.window = 100.0
+        cc.on_ack(50)
+        w = cc.window
+        cc.on_ack(150)  # 100 acked * 0.01 = +1
+        assert cc.window == pytest.approx(w + 1.0, rel=0.1)
+
+    def test_timeout_resets(self):
+        cc, _ = self._cc()
+        cc.window = 500.0
+        cc.on_timeout()
+        assert cc.window == 2.0
+        assert cc.ssthresh == 250.0
+
+
+class TestOverUdtEndToEnd:
+    def test_ctcp_fills_low_bdp_link(self):
+        top = path_topology(20e6, 0.02)
+        f = UdtFlow(top.net, top.src, top.dst, cc_factory=ctcp)
+        top.net.run(until=10.0)
+        assert f.throughput_bps(5, 10) > 15e6
+
+    @pytest.mark.parametrize(
+        "resp", [Response, HighSpeedResponse, ScalableResponse, BicResponse]
+    )
+    def test_variants_transfer_exactly(self, resp):
+        top = path_topology(20e6, 0.02, loss_rate=0.002)
+        f = UdtFlow(
+            top.net, top.src, top.dst,
+            cc_factory=make_cc_factory(resp), nbytes=500_000,
+        )
+        top.net.run(until=60.0)
+        assert f.done
+        assert f.delivered_bytes == 500_000
+
+    def test_ctcp_inherits_rtt_bias_native_udt_avoids(self):
+        """The same framework, two controllers: the windowed one shows
+        TCP's RTT bias, the native rate-based one does not (§3.8)."""
+        from repro.sim.topology import join_topology
+
+        def ratio(cc_factory):
+            j = join_topology(rate_bps=100e6, rtt_a=0.1, rtt_b=0.01,
+                              queue_pkts=100, seed=3)
+            kw = {} if cc_factory is None else {"cc_factory": cc_factory}
+            fa = UdtFlow(j.net, j.src_a, j.sink, flow_id="long", **kw)
+            fb = UdtFlow(j.net, j.src_b, j.sink, flow_id="short", **kw)
+            j.net.run(until=30.0)
+            return fa.throughput_bps(10, 30) / max(fb.throughput_bps(10, 30), 1)
+
+        assert ratio(None) > 2.0 * ratio(ctcp)

@@ -1,0 +1,87 @@
+"""Tests for the §2.3/§6 TCP-control-channel model."""
+
+import pytest
+
+from repro.sabul.control_channel import (
+    ReliableInOrderChannel,
+    attach_tcp_control_channel,
+)
+from repro.sim.engine import Simulator
+from repro.sim.topology import dumbbell, path_topology
+from repro.udt import start_udt_flow
+
+
+class TestChannel:
+    def test_in_order_delivery(self):
+        sim = Simulator()
+        got = []
+        ch = ReliableInOrderChannel(sim, got.append, delay=0.01, loss_probability=lambda: 0.0)
+        for i in range(5):
+            ch.send(i)
+        sim.run(until=1.0)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_loss_delays_everything_behind(self):
+        sim = Simulator(seed=1)
+        got = []
+        lose_first = {"armed": True}
+
+        def loss():
+            if lose_first["armed"]:
+                lose_first["armed"] = False
+                return 1.0
+            return 0.0
+
+        ch = ReliableInOrderChannel(
+            sim, lambda m: got.append((sim.now, m)), delay=0.01,
+            loss_probability=loss, rto=0.2,
+        )
+        ch.send("a")
+        ch.send("b")
+        sim.run(until=1.0)
+        # both messages waited out the RTO (head-of-line blocking)
+        assert got[0][0] == pytest.approx(0.21)
+        assert got[1][0] == pytest.approx(0.21)
+        assert [m for _, m in got] == ["a", "b"]
+        assert ch.retransmissions == 1
+
+    def test_stats(self):
+        sim = Simulator()
+        ch = ReliableInOrderChannel(sim, lambda m: None, 0.01, lambda: 0.0)
+        ch.send("x")
+        sim.run(until=0.1)
+        assert ch.messages_sent == 1
+
+
+class TestAblation:
+    def test_transfer_still_completes_over_tcp_control(self):
+        top = path_topology(20e6, 0.02)
+        f = start_udt_flow(top.net, top.src, top.dst, nbytes=400_000)
+        attach_tcp_control_channel(f)
+        top.net.run(until=30.0)
+        assert f.done
+        assert f.delivered_bytes == 400_000
+
+    def test_tcp_control_hurts_under_congestion(self):
+        """§6: the UDP-control protocol recovers congestion faster than
+        the same protocol with SABUL-style TCP control."""
+
+        def run(with_tcp_control):
+            d = dumbbell(2, 50e6, 0.05, queue_pkts=60, seed=9)
+            f1 = start_udt_flow(d.net, d.sources[0], d.sinks[0], flow_id="a")
+            f2 = start_udt_flow(d.net, d.sources[1], d.sinks[1], flow_id="b")
+            chans = None
+            if with_tcp_control:
+                chans = attach_tcp_control_channel(f1)
+                attach_tcp_control_channel(f2)
+            d.net.run(until=25.0)
+            total = f1.throughput_bps(10, 25) + f2.throughput_bps(10, 25)
+            return total, chans
+
+        udp_total, _ = run(False)
+        tcp_total, chans = run(True)
+        # Control-channel HOL blocking costs efficiency under congestion
+        # (or at the very least never helps).
+        assert tcp_total <= udp_total * 1.05
+        # The channel actually exercised its retransmission path.
+        assert chans["rcv->snd"].messages_sent > 0

@@ -1,0 +1,144 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator, Timer
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.3, seen.append, "c")
+    sim.schedule(0.1, seen.append, "a")
+    sim.schedule(0.2, seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    seen = []
+    for tag in range(10):
+        sim.schedule(0.5, seen.append, tag)
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    sim.run(until=2.0)
+    assert sim.now == 2.0
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+    assert sim.events_processed == 2
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    ev = sim.schedule(0.1, seen.append, "x")
+    sim.schedule(0.2, seen.append, "y")
+    ev.cancel()
+    sim.run()
+    assert seen == ["y"]
+    assert ev.cancelled
+
+
+def test_cancel_releases_references():
+    sim = Simulator()
+    big = object()
+    ev = sim.schedule(0.1, lambda o: None, big)
+    ev.cancel()
+    assert ev.args == ()
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_into_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_event_scheduled_during_run_executes():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.schedule(0.5, seen.append, "second")
+
+    sim.schedule(0.1, first)
+    sim.run()
+    assert seen == ["second"]
+    assert sim.now == pytest.approx(0.6)
+
+
+def test_stop_aborts_run():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.1, seen.append, 1)
+    sim.schedule(0.2, sim.stop)
+    sim.schedule(0.3, seen.append, 2)
+    sim.run()
+    assert seen == [1]
+    # a second run resumes where we left off
+    sim.run()
+    assert seen == [1, 2]
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    ev1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    ev1.cancel()
+    assert sim.pending() == 1
+
+
+def test_rng_is_seeded_and_reproducible():
+    a = Simulator(seed=42).rng.random()
+    b = Simulator(seed=42).rng.random()
+    c = Simulator(seed=43).rng.random()
+    assert a == b != c
+
+
+def test_timer_restart_and_cancel():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(sim.now))
+    t.restart(1.0)
+    t.restart(2.0)  # supersedes the first deadline
+    sim.run()
+    assert fired == [2.0]
+    assert not t.armed
+
+
+def test_timer_start_if_idle():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(sim.now))
+    t.restart(1.0)
+    t.start_if_idle(0.5)  # must NOT override the armed deadline
+    assert t.deadline == 1.0
+    sim.run()
+    assert fired == [1.0]
+    t.start_if_idle(0.5)
+    sim.run()
+    assert fired == [1.0, 1.5]
+
+
+def test_timer_cancel_prevents_fire():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(1))
+    t.restart(1.0)
+    t.cancel()
+    sim.run()
+    assert fired == []

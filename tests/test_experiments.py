@@ -1,0 +1,115 @@
+"""Tests for experiment plumbing, the registry and fast runners."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import REGISTRY, get_experiment, list_experiments
+from repro.experiments.common import ExperimentResult, mbps, scaled
+from repro.experiments.fig09_losslist import synth_loss_trace
+from repro.experiments.table1_increase import run as run_table1
+
+
+class TestExperimentResult:
+    def test_add_and_column(self):
+        r = ExperimentResult("x", "t", ["a", "b"])
+        r.add(1, 2)
+        r.add(3, 4)
+        assert r.column("a") == [1, 3]
+        assert r.column("b") == [2, 4]
+
+    def test_row_arity_checked(self):
+        r = ExperimentResult("x", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            r.add(1)
+
+    def test_to_text_contains_everything(self):
+        r = ExperimentResult("fig99", "demo", ["col"], notes="hello")
+        r.add(3.14159)
+        text = r.to_text()
+        assert "fig99" in text and "col" in text and "3.14" in text
+        assert "hello" in text
+
+    def test_print(self, capsys):
+        r = ExperimentResult("x", "t", ["a"])
+        r.add(1)
+        r.print()
+        assert "x: t" in capsys.readouterr().out
+
+
+class TestScaling:
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert scaled(100.0) == 50.0
+
+    def test_minimum_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.001")
+        assert scaled(100.0, minimum=7.0) == 7.0
+
+    def test_mbps(self):
+        assert mbps(1e6) == 1.0
+
+
+class TestRegistry:
+    def test_every_paper_artefact_registered(self):
+        ids = set(REGISTRY)
+        expected = {
+            "table1", "table2", "table3",
+            "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
+            "fig08", "fig09", "fig11", "fig12", "fig13", "fig14", "fig15",
+        }
+        assert expected <= ids
+
+    def test_ablations_registered(self):
+        assert any(i.startswith("ablation-") for i in REGISTRY)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_list(self):
+        assert len(list_experiments()) == len(REGISTRY)
+
+
+class TestFastRunners:
+    def test_table1_exact(self):
+        result = run_table1()
+        assert all(m == "yes" for m in result.column("match"))
+
+    def test_table1_mss_correction(self):
+        result = run_table1(mss=750)
+        # corrected by 1500/MSS = 2x
+        assert result.column("inc (ours)")[0] == pytest.approx(20.0)
+
+    def test_loss_trace_shape(self):
+        trace = synth_loss_trace(n_events=50, max_burst=100, seed=1)
+        assert len(trace) == 50
+        assert all(a <= b for a, b in trace)
+        # disjoint and increasing
+        for (a1, b1), (a2, b2) in zip(trace, trace[1:]):
+            assert b1 < a2
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out and "table1" in out
+
+    def test_run_table1(self, capsys):
+        assert cli_main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "increase parameter" in out
+        assert "finished in" in out
+
+    def test_run_unknown(self):
+        with pytest.raises(KeyError):
+            cli_main(["run", "nope"])
+
+    def test_run_with_set_override(self, capsys):
+        assert cli_main(["run", "table1", "--set", "mss=750"]) == 0
+        out = capsys.readouterr().out
+        assert "MSS=750" in out
+
+    def test_bad_set_syntax_errors(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "table1", "--set", "nonsense"])

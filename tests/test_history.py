@@ -1,0 +1,135 @@
+"""Unit tests for arrival-speed / capacity filters and RTT estimation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.udt.history import (
+    ArrivalRecorder,
+    IntervalWindow,
+    ProbeRecorder,
+    RttEstimator,
+)
+
+
+class TestIntervalWindow:
+    def test_uniform_intervals(self):
+        w = IntervalWindow(16)
+        for _ in range(16):
+            w.push(0.001)
+        assert w.filtered_rate() == pytest.approx(1000.0)
+
+    def test_outliers_rejected(self):
+        w = IntervalWindow(16)
+        for _ in range(14):
+            w.push(0.001)
+        w.push(1.0)  # a long sending pause
+        w.push(1e-7)  # a burst artefact
+        assert w.filtered_rate() == pytest.approx(1000.0)
+
+    def test_majority_requirement(self):
+        w = IntervalWindow(16)
+        # Half 1 ms, half 100 ms: nothing close to the median dominates.
+        for i in range(16):
+            w.push(0.001 if i % 2 else 0.1)
+        assert w.filtered_rate(require_majority=True) == 0.0
+
+    def test_too_few_samples(self):
+        w = IntervalWindow(16)
+        w.push(0.001)
+        assert w.filtered_rate() == 0.0
+
+    def test_zero_median_safe(self):
+        w = IntervalWindow(4)
+        for _ in range(4):
+            w.push(0.0)
+        assert w.filtered_rate() == 0.0
+
+    def test_rolls_over(self):
+        w = IntervalWindow(4)
+        for _ in range(4):
+            w.push(1.0)
+        for _ in range(4):
+            w.push(0.001)
+        assert w.filtered_rate() == pytest.approx(1000.0)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalWindow(4).push(-1.0)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            IntervalWindow(1)
+
+    @given(st.floats(min_value=1e-6, max_value=1.0))
+    def test_constant_interval_recovers_rate(self, dt):
+        w = IntervalWindow(16)
+        for _ in range(16):
+            w.push(dt)
+        assert w.filtered_rate() == pytest.approx(1.0 / dt, rel=1e-6)
+
+
+class TestArrivalRecorder:
+    def test_speed_from_stream(self):
+        r = ArrivalRecorder()
+        t = 0.0
+        for _ in range(20):
+            r.on_arrival(t)
+            t += 0.002
+        assert r.speed() == pytest.approx(500.0)
+
+    def test_skip_breaks_chain(self):
+        r = ArrivalRecorder()
+        r.on_arrival(0.0)
+        r.skip()
+        r.on_arrival(100.0)  # must NOT create a 100 s interval
+        assert len(r.window) == 0
+
+    def test_unmeasurable_returns_zero(self):
+        assert ArrivalRecorder().speed() == 0.0
+
+
+class TestProbeRecorder:
+    def test_capacity_from_pairs(self):
+        p = ProbeRecorder()
+        t = 0.0
+        for _ in range(16):
+            p.on_probe1(t)
+            p.on_probe2(t + 0.00012)  # 1500B at 100 Mb/s
+            t += 1.0
+        assert p.capacity() == pytest.approx(1 / 0.00012, rel=1e-6)
+
+    def test_orphan_probe2_ignored(self):
+        p = ProbeRecorder()
+        p.on_probe2(1.0)
+        assert len(p.window) == 0
+
+    def test_probe1_without_probe2_then_new_pair(self):
+        p = ProbeRecorder()
+        p.on_probe1(0.0)
+        p.on_probe1(5.0)  # first pair broken; restart
+        p.on_probe2(5.1)
+        assert len(p.window) == 1
+
+
+class TestRttEstimator:
+    def test_first_sample_adopted(self):
+        e = RttEstimator(initial=0.5)
+        e.update(0.1)
+        assert e.rtt == pytest.approx(0.1)
+
+    def test_ewma_converges(self):
+        e = RttEstimator()
+        for _ in range(100):
+            e.update(0.2)
+        assert e.rtt == pytest.approx(0.2, rel=1e-3)
+        assert e.var == pytest.approx(0.0, abs=1e-3)
+
+    def test_rto_exceeds_rtt(self):
+        e = RttEstimator()
+        e.update(0.1)
+        e.update(0.3)
+        assert e.rto > e.rtt
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator().update(-0.1)

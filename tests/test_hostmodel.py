@@ -1,0 +1,141 @@
+"""Unit tests for the CPU and disk cost models."""
+
+import pytest
+
+from repro.hostmodel import (
+    CpuMeter,
+    DiskModel,
+    SITE_DISKS,
+    TCP_RECEIVER_COSTS,
+    TCP_SENDER_COSTS,
+    UDT_RECEIVER_COSTS,
+    UDT_SENDER_COSTS,
+)
+from repro.hostmodel.cpu import (
+    DEFAULT_CPU_HZ,
+    UDT_RECV_UTIL,
+    UDT_SEND_UTIL,
+    UDT_RECEIVER_SHARES,
+    UDT_SENDER_SHARES,
+)
+from repro.hostmodel.disk import disk_disk_limit
+
+
+def drive_reference_workload(meter, role, seconds=1.0):
+    """Replicate the paper's ~970 Mb/s reference workload on a meter."""
+    pps = int(970e6 / (1500 * 8) * seconds)
+    for _ in range(pps):
+        if role == "send":
+            meter.on_data_sent(1456)
+        else:
+            meter.on_data_received(1456)
+    for _ in range(int(100 * seconds)):  # ACK per SYN
+        if role == "send":
+            meter.on_ctrl("ack")
+        else:
+            meter.on_ctrl_sent(40)
+
+
+class TestCalibration:
+    def test_udt_sender_utilisation_matches_fig14(self):
+        clock = [0.0]
+        m = CpuMeter(UDT_SENDER_COSTS, lambda: clock[0])
+        drive_reference_workload(m, "send")
+        clock[0] = 1.0
+        assert m.utilization() * 100 == pytest.approx(UDT_SEND_UTIL, rel=0.05)
+
+    def test_udt_receiver_utilisation_matches_fig14(self):
+        clock = [0.0]
+        m = CpuMeter(UDT_RECEIVER_COSTS, lambda: clock[0])
+        drive_reference_workload(m, "recv")
+        clock[0] = 1.0
+        assert m.utilization() * 100 == pytest.approx(UDT_RECV_UTIL, rel=0.05)
+
+    def test_tcp_utilisation_below_udt(self):
+        for costs, util in ((TCP_SENDER_COSTS, 33), (TCP_RECEIVER_COSTS, 35)):
+            clock = [0.0]
+            m = CpuMeter(costs, lambda: clock[0])
+            drive_reference_workload(m, "send")
+            clock[0] = 1.0
+            assert m.utilization() * 100 == pytest.approx(util, rel=0.15)
+
+    def test_sender_breakdown_matches_table3(self):
+        clock = [0.0]
+        m = CpuMeter(UDT_SENDER_COSTS, lambda: clock[0])
+        drive_reference_workload(m, "send")
+        bd = m.breakdown()
+        assert bd["udp_io"] * 100 == pytest.approx(
+            UDT_SENDER_SHARES["udp_io"], rel=0.05
+        )
+        assert bd["timing"] * 100 == pytest.approx(
+            UDT_SENDER_SHARES["timing"], rel=0.05
+        )
+        assert bd["ctrl"] * 100 == pytest.approx(UDT_SENDER_SHARES["ctrl"], rel=0.10)
+
+    def test_receiver_breakdown_udp_read_dominates(self):
+        clock = [0.0]
+        m = CpuMeter(UDT_RECEIVER_COSTS, lambda: clock[0])
+        drive_reference_workload(m, "recv")
+        bd = m.breakdown()
+        assert bd["udp_io"] * 100 == pytest.approx(
+            UDT_RECEIVER_SHARES["udp_io"], rel=0.10
+        )
+
+    def test_utilisation_scales_with_rate(self):
+        clock = [0.0]
+        m = CpuMeter(UDT_SENDER_COSTS, lambda: clock[0])
+        # half the packets in the same time -> roughly half the utilisation
+        for _ in range(int(970e6 / (1500 * 8) / 2)):
+            m.on_data_sent(1456)
+        clock[0] = 1.0
+        assert m.utilization() * 100 == pytest.approx(UDT_SEND_UTIL / 2, rel=0.15)
+
+    def test_memory_copy_dominates_per_byte(self):
+        # §6: copy cost (per byte) dwarfs the fixed syscall cost at MSS.
+        c = UDT_SENDER_COSTS
+        assert c.udp_io_byte * 1456 > 3 * c.udp_io_pkt
+
+
+class TestMeterMechanics:
+    def test_zero_time_zero_utilisation(self):
+        m = CpuMeter(UDT_SENDER_COSTS, lambda: 0.0)
+        assert m.utilization() == 0.0
+
+    def test_loss_processing_charged(self):
+        m = CpuMeter(UDT_RECEIVER_COSTS, lambda: 0.0)
+        m.on_loss_processing(events=5)
+        assert m.cycles["loss"] > 0
+
+    def test_breakdown_sums_to_one(self):
+        clock = [0.0]
+        m = CpuMeter(UDT_SENDER_COSTS, lambda: clock[0])
+        drive_reference_workload(m, "send")
+        assert sum(m.breakdown().values()) == pytest.approx(1.0)
+
+    def test_empty_breakdown_is_zeros(self):
+        m = CpuMeter(UDT_SENDER_COSTS, lambda: 0.0)
+        assert all(v == 0.0 for v in m.breakdown().values())
+
+
+class TestDisk:
+    def test_transfer_times(self):
+        d = DiskModel("d", read_bps=400e6, write_bps=320e6, startup_latency=0.0)
+        assert d.read_time(50_000_000) == pytest.approx(1.0)
+        assert d.write_time(40_000_000) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            DiskModel("bad", read_bps=0, write_bps=1)
+
+    def test_site_disks_slower_than_gbe(self):
+        # Table 2's premise: disk IO, not the Gb/s network, is the bottleneck.
+        for d in SITE_DISKS.values():
+            assert d.read_bps < 1e9 and d.write_bps < 1e9
+            assert d.read_bps > d.write_bps  # reads faster than writes
+
+    def test_disk_disk_limit(self):
+        src = SITE_DISKS["Chicago"]
+        dst = SITE_DISKS["Amsterdam"]
+        lim = disk_disk_limit(src, dst, 1e9)
+        assert lim == min(src.read_bps, dst.write_bps)
+        assert disk_disk_limit(src, dst, 100e6) == 100e6

@@ -1,0 +1,112 @@
+"""Integration tests for the real-UDP loopback runtime."""
+
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.live import LiveUdtEndpoint, SpinClock, loopback_transfer, wait_until
+from repro.udt import UdtConfig
+
+
+class TestSpinClock:
+    def test_wait_until_precision(self):
+        clock = SpinClock()
+        target = clock.now() + 0.01
+        clock.wait_until(target)
+        overshoot = clock.now() - target
+        assert 0 <= overshoot < 0.005  # sub-ms precision, generous CI margin
+
+    def test_wait_until_past_returns_immediately(self):
+        t0 = time.perf_counter()
+        wait_until(t0 - 1.0)
+        assert time.perf_counter() - t0 < 0.01
+
+
+class TestLoopback:
+    def test_small_transfer_intact(self):
+        payload = os.urandom(100_000)
+        stats = loopback_transfer(payload)
+        assert stats["bytes"] == len(payload)
+        assert stats["throughput_bps"] > 1e6
+
+    def test_multi_megabyte_transfer(self):
+        payload = os.urandom(1_500_000)
+        stats = loopback_transfer(payload)
+        assert stats["bytes"] == len(payload)
+
+    def test_handshake_timeout_when_no_server(self):
+        client = LiveUdtEndpoint(("127.0.0.1", 0))
+        try:
+            # A bound but silent UDP socket: never answers the handshake.
+            silent = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            silent.bind(("127.0.0.1", 0))
+            with pytest.raises(TimeoutError):
+                client.connect(silent.getsockname(), timeout=1.0)
+            silent.close()
+        finally:
+            client.close()
+
+    def test_bidirectional_endpoints_close_cleanly(self):
+        server = LiveUdtEndpoint(("127.0.0.1", 0))
+        client = LiveUdtEndpoint(("127.0.0.1", 0))
+        try:
+            server.listen()
+            client.connect(server.local_addr)
+            assert client.connected and server.connected
+        finally:
+            client.close()
+            server.close()
+        assert client.core.closed
+
+    def test_recv_exactly_blocks_until_complete(self):
+        server = LiveUdtEndpoint(("127.0.0.1", 0))
+        client = LiveUdtEndpoint(("127.0.0.1", 0))
+        try:
+            server.listen()
+            client.connect(server.local_addr)
+            payload = os.urandom(300_000)
+
+            def send_later():
+                time.sleep(0.1)
+                client.send(payload)
+
+            t = threading.Thread(target=send_later)
+            t.start()
+            got = server.recv_exactly(len(payload), timeout=15.0)
+            t.join()
+            assert got == payload
+        finally:
+            client.close()
+            server.close()
+
+    def test_recv_timeout_reports_progress(self):
+        server = LiveUdtEndpoint(("127.0.0.1", 0))
+        try:
+            with pytest.raises(TimeoutError):
+                server.recv_exactly(10, timeout=0.2)
+        finally:
+            server.close()
+
+    def test_sendfile_recvfile_roundtrip(self, tmp_path):
+        src = tmp_path / "in.bin"
+        dst = tmp_path / "out.bin"
+        payload = os.urandom(500_000)
+        src.write_bytes(payload)
+        server = LiveUdtEndpoint(("127.0.0.1", 0))
+        client = LiveUdtEndpoint(("127.0.0.1", 0))
+        try:
+            server.listen()
+            client.connect(server.local_addr)
+            t = threading.Thread(
+                target=lambda: client.send_file(str(src))
+            )
+            t.start()
+            server.recv_file(str(dst), len(payload), timeout=30.0)
+            t.join()
+            assert dst.read_bytes() == payload
+        finally:
+            client.close()
+            server.close()

@@ -1,0 +1,93 @@
+"""Unit + property tests for the evaluation metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    friendliness_index,
+    jain_index,
+    rtt_fairness_ratio,
+    stability_index,
+)
+
+
+class TestJain:
+    def test_equal_shares_ideal(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_hog_worst(self):
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_known_value(self):
+        # classic example: (1+2+3)^2 / (3*(1+4+9)) = 36/42
+        assert jain_index([1, 2, 3]) == pytest.approx(36 / 42)
+
+    def test_scale_invariant(self):
+        assert jain_index([1, 2, 3]) == pytest.approx(jain_index([10, 20, 30]))
+
+    def test_all_zero(self):
+        assert jain_index([0, 0]) == 1.0
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([1, -1])
+
+    @given(st.lists(st.floats(0.001, 1000), min_size=1, max_size=50))
+    def test_bounds(self, xs):
+        j = jain_index(xs)
+        assert 1 / len(xs) - 1e-9 <= j <= 1 + 1e-9
+
+
+class TestStability:
+    def test_constant_series_ideal(self):
+        assert stability_index([[5, 5, 5], [2, 2, 2]]) == 0.0
+
+    def test_oscillation_penalised(self):
+        smooth = stability_index([[5, 5.1, 4.9, 5.0]])
+        wild = stability_index([[1, 9, 1, 9]])
+        assert wild > smooth
+
+    def test_normalised_by_mean(self):
+        # same relative oscillation at different scales -> same index
+        a = stability_index([[1, 2, 1, 2]])
+        b = stability_index([[10, 20, 10, 20]])
+        assert a == pytest.approx(b)
+
+    def test_starved_flow_skipped(self):
+        assert stability_index([[0, 0, 0]]) == 0.0
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            stability_index([[1]])
+        with pytest.raises(ValueError):
+            stability_index([])
+
+
+class TestFriendliness:
+    def test_ideal_share(self):
+        # 5 TCP each get 10 with UDT; alone, 10 flows each get 10.
+        t = friendliness_index([10] * 5, [10] * 10, n_udt=5)
+        assert t == pytest.approx(1.0)
+
+    def test_udt_overruns(self):
+        t = friendliness_index([2] * 5, [10] * 10, n_udt=5)
+        assert t < 1.0
+
+    def test_udt_too_friendly(self):
+        t = friendliness_index([20] * 5, [10] * 10, n_udt=5)
+        assert t > 1.0
+
+    def test_dimension_check(self):
+        with pytest.raises(ValueError):
+            friendliness_index([10] * 5, [10] * 5, n_udt=5)
+
+
+class TestRttFairness:
+    def test_equal_is_one(self):
+        assert rtt_fairness_ratio(100.0, 100.0) == 1.0
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            rtt_fairness_ratio(1.0, 0.0)

@@ -1,0 +1,81 @@
+"""Unit + property tests for compressed loss-report encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.udt.nakcodec import RANGE_FLAG, decode, encode, report_size_bytes
+from repro.udt.params import MAX_SEQ_NO
+from repro.udt.seqno import seq_inc
+
+
+def test_paper_appendix_example():
+    # "0x80000003, 0x00000006, 0x8000000F, 0x00000012" encodes
+    # 3..6 and 15(0xF)..18(0x12) — the appendix's worked example shape.
+    words = [0x80000003, 0x00000006, 0x8000000F, 0x00000012]
+    assert decode(words) == [(3, 6), (0xF, 0x12)]
+
+
+def test_single_loss_is_one_word():
+    assert encode([(7, 7)]) == [7]
+    assert report_size_bytes(encode([(7, 7)])) == 4
+
+
+def test_range_uses_flag_bit():
+    words = encode([(3, 6)])
+    assert words == [3 | RANGE_FLAG, 6]
+
+
+def test_mixed_report():
+    ranges = [(3, 6), (9, 9), (20, 25)]
+    words = encode(ranges)
+    assert decode(words) == ranges
+    # compression: 10 losses in 5 words instead of 10
+    assert len(words) == 5
+
+
+def test_wrap_around_range():
+    top = MAX_SEQ_NO - 2
+    ranges = [(top, seq_inc(top, 3))]
+    assert decode(encode(ranges)) == ranges
+
+
+def test_reject_inverted_range():
+    with pytest.raises(ValueError):
+        encode([(10, 5)])
+
+
+def test_reject_out_of_range_seq():
+    with pytest.raises(ValueError):
+        encode([(MAX_SEQ_NO, MAX_SEQ_NO)])
+
+
+def test_decode_rejects_dangling_flag():
+    with pytest.raises(ValueError):
+        decode([5 | RANGE_FLAG])
+
+
+def test_decode_rejects_flagged_end():
+    with pytest.raises(ValueError):
+        decode([5 | RANGE_FLAG, 9 | RANGE_FLAG])
+
+
+@st.composite
+def loss_ranges(draw):
+    out = []
+    pos = draw(st.integers(0, MAX_SEQ_NO - 1))
+    for _ in range(draw(st.integers(1, 30))):
+        pos = seq_inc(pos, draw(st.integers(2, 1000)))
+        span = draw(st.integers(0, 500))
+        out.append((pos, seq_inc(pos, span)))
+        pos = seq_inc(pos, span)
+    return out
+
+
+@given(loss_ranges())
+def test_roundtrip(ranges):
+    assert decode(encode(ranges)) == ranges
+
+
+@given(loss_ranges())
+def test_compression_never_worse_than_two_words_per_event(ranges):
+    assert len(encode(ranges)) <= 2 * len(ranges)

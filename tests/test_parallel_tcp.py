@@ -1,0 +1,57 @@
+"""Tests for the §2.2 parallel-TCP striping baseline."""
+
+import pytest
+
+from repro.apps.parallel_tcp import ParallelTcpTransfer
+from repro.sim.topology import path_topology
+
+
+def test_stripes_complete_a_finite_transfer():
+    top = path_topology(50e6, 0.02)
+    p = ParallelTcpTransfer(top.net, top.src, top.dst, n_streams=4, nbytes=2_000_000)
+    top.net.run(until=20.0)
+    assert p.done
+    assert p.finish_time is not None
+    # striping rounds each stream up to a whole share
+    assert p.delivered_bytes >= 2_000_000
+
+
+def test_striping_recovers_lossy_high_bdp_goodput():
+    """§2.2: N parallel flows regain what one TCP cannot use."""
+
+    def goodput(n):
+        top = path_topology(200e6, 0.1, loss_rate=1e-4, seed=2)
+        p = ParallelTcpTransfer(top.net, top.src, top.dst, n_streams=n)
+        top.net.run(until=25.0)
+        return p.throughput_bps(12, 25)
+
+    assert goodput(8) > 2.5 * goodput(1)
+
+
+def test_aggregate_throughput_sums_streams():
+    top = path_topology(50e6, 0.02)
+    p = ParallelTcpTransfer(top.net, top.src, top.dst, n_streams=2)
+    top.net.run(until=10.0)
+    total = p.throughput_bps(5, 10)
+    parts = sum(s.throughput_bps(5, 10) for s in p.streams)
+    assert total == pytest.approx(parts)
+    assert total > 40e6
+
+
+def test_requires_at_least_one_stream():
+    top = path_topology(50e6, 0.02)
+    with pytest.raises(ValueError):
+        ParallelTcpTransfer(top.net, top.src, top.dst, n_streams=0)
+
+
+def test_unfair_to_single_tcp():
+    """§2.2: 'parallel TCP does not address fairness issues' — N stripes
+    take roughly N shares from a competing standard TCP."""
+    from repro.sim.topology import dumbbell
+    from repro.tcp import start_tcp_flow
+
+    d = dumbbell(2, 100e6, 0.02, seed=3)
+    p = ParallelTcpTransfer(d.net, d.sources[0], d.sinks[0], n_streams=8)
+    victim = start_tcp_flow(d.net, d.sources[1], d.sinks[1], flow_id="victim")
+    d.net.run(until=20.0)
+    assert p.throughput_bps(10, 20) > 3 * victim.throughput_bps(10, 20)

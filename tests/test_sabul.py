@@ -1,0 +1,90 @@
+"""Tests for the SABUL baseline protocol."""
+
+from repro.sabul import SabulCC, start_sabul_flow
+from repro.sim.topology import dumbbell, path_topology
+from repro.udt import UdtConfig
+from repro.udt.cc import LossEvent
+
+
+class FakeCtx:
+    def __init__(self):
+        self.t = 0.0
+        self.rtt = 0.1
+        self.recv_rate = 1000.0
+        self.bandwidth = 0.0
+        self.max_seq_sent = 0
+
+    def now(self):
+        return self.t
+
+
+class TestSabulCC:
+    def _cc(self):
+        cc = SabulCC(UdtConfig(flow_control=False), static_window=100)
+        ctx = FakeCtx()
+        cc.init(ctx)
+        return cc, ctx
+
+    def test_window_is_static(self):
+        cc, ctx = self._cc()
+        ctx.t = 0.02
+        cc.on_ack(50)
+        assert cc.window == 100.0
+        ctx.t = 0.04
+        cc.on_ack(150)
+        assert cc.window == 100.0
+
+    def test_mimd_increase_after_first_loss(self):
+        cc, ctx = self._cc()
+        ctx.max_seq_sent = 100
+        cc.on_loss(LossEvent([(1, 2)], biggest_seq=2, lost_packets=2))
+        p0 = cc.period
+        ctx.t = 0.02
+        cc.on_ack(50)
+        assert cc.period == p0 / 1.10  # multiplicative, not additive
+
+    def test_decrease_is_epoch_gated(self):
+        cc, ctx = self._cc()
+        ctx.max_seq_sent = 100
+        cc.on_loss(LossEvent([(1, 2)], biggest_seq=2, lost_packets=2))
+        p1 = cc.period
+        # stale NAK (seq <= last_dec_seq=100) does not decrease again
+        cc.on_loss(LossEvent([(50, 55)], biggest_seq=55, lost_packets=6))
+        assert cc.period == p1
+
+    def test_timeout_backs_off(self):
+        cc, ctx = self._cc()
+        cc.on_timeout()
+        p = cc.period
+        cc.on_timeout()
+        assert cc.period > p
+
+
+class TestSabulFlow:
+    def test_fills_link(self):
+        top = path_topology(50e6, 0.02)
+        f = start_sabul_flow(top.net, top.src, top.dst)
+        top.net.run(until=10.0)
+        assert f.throughput_bps(5, 10) > 40e6
+
+    def test_reliable_delivery_under_loss(self):
+        top = path_topology(20e6, 0.02, loss_rate=0.002)
+        f = start_sabul_flow(top.net, top.src, top.dst, nbytes=1_000_000)
+        top.net.run(until=30.0)
+        assert f.done
+        assert f.delivered_bytes == 1_000_000
+
+    def test_slower_fairness_convergence_than_udt(self):
+        from repro.metrics import jain_index
+        from repro.udt import start_udt_flow
+
+        def converge(starter):
+            d = dumbbell(2, 50e6, 0.02, seed=3)
+            f1 = starter(d.net, d.sources[0], d.sinks[0], flow_id="a")
+            f2 = starter(d.net, d.sources[1], d.sinks[1], start=5.0, flow_id="b")
+            d.net.run(until=25.0)
+            return jain_index(
+                [f1.throughput_bps(15, 25), f2.throughput_bps(15, 25)]
+            )
+
+        assert converge(start_udt_flow) >= converge(start_sabul_flow) - 0.05

@@ -1,0 +1,76 @@
+"""Unit + property tests for wrap-around sequence arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.udt.params import MAX_SEQ_NO
+from repro.udt.seqno import (
+    SEQ_THRESHOLD,
+    seq_cmp,
+    seq_dec,
+    seq_inc,
+    seq_len,
+    seq_off,
+    valid_seq,
+)
+
+seqs = st.integers(min_value=0, max_value=MAX_SEQ_NO - 1)
+small = st.integers(min_value=0, max_value=10_000)
+
+
+def test_basic_compare():
+    assert seq_cmp(5, 3) > 0
+    assert seq_cmp(3, 5) < 0
+    assert seq_cmp(7, 7) == 0
+
+
+def test_compare_across_wrap():
+    near_top = MAX_SEQ_NO - 2
+    assert seq_cmp(1, near_top) > 0  # 1 is *after* near_top modulo wrap
+    assert seq_cmp(near_top, 1) < 0
+
+
+def test_offset_across_wrap():
+    assert seq_off(MAX_SEQ_NO - 1, 0) == 1
+    assert seq_off(0, MAX_SEQ_NO - 1) == -1
+    assert seq_off(MAX_SEQ_NO - 5, 5) == 10
+
+
+def test_inc_dec_wrap():
+    assert seq_inc(MAX_SEQ_NO - 1) == 0
+    assert seq_dec(0) == MAX_SEQ_NO - 1
+
+
+def test_seq_len_inclusive():
+    assert seq_len(3, 5) == 3
+    assert seq_len(5, 5) == 1
+    assert seq_len(MAX_SEQ_NO - 1, 1) == 3
+
+
+def test_valid_seq():
+    assert valid_seq(0) and valid_seq(MAX_SEQ_NO - 1)
+    assert not valid_seq(-1) and not valid_seq(MAX_SEQ_NO)
+
+
+@given(seqs, small)
+def test_offset_inverts_increment(base, step):
+    assert seq_off(base, seq_inc(base, step)) == step
+
+
+@given(seqs, small)
+def test_cmp_sign_matches_offset(base, step):
+    other = seq_inc(base, step)
+    if step == 0:
+        assert seq_cmp(base, other) == 0
+    elif step < SEQ_THRESHOLD:
+        assert seq_cmp(other, base) > 0
+        assert seq_cmp(base, other) < 0
+
+
+@given(seqs, small)
+def test_inc_dec_roundtrip(base, step):
+    assert seq_dec(seq_inc(base, step), step) == base
+
+
+@given(seqs, small)
+def test_len_matches_offset(base, step):
+    assert seq_len(base, seq_inc(base, step)) == step + 1

@@ -1,0 +1,149 @@
+"""Unit tests for TCP variant response functions."""
+
+import pytest
+
+from repro.tcp.responses import (
+    BicResponse,
+    HighSpeedResponse,
+    RenoResponse,
+    ScalableResponse,
+    VegasResponse,
+    WestwoodResponse,
+)
+
+
+class TestReno:
+    def test_one_segment_per_rtt(self):
+        r = RenoResponse()
+        # summed over a window's worth of ACKs: ~1 segment
+        assert r.ack_increment(100.0) * 100 == pytest.approx(1.0)
+
+    def test_halves_on_loss(self):
+        assert RenoResponse().backoff(1000.0) == 0.5
+
+
+class TestHighSpeed:
+    def test_reno_regime_below_low_window(self):
+        h = HighSpeedResponse()
+        assert h.ack_increment(20.0) == pytest.approx(1 / 20.0)
+        assert h.backoff(20.0) == pytest.approx(0.5)
+
+    def test_rfc3649_anchor_points(self):
+        h = HighSpeedResponse()
+        # b(83000) = 0.1; a(83000) ~= 72 (RFC 3649 table value)
+        assert h._b(83000.0) == pytest.approx(0.1, abs=0.01)
+        assert h._a(83000.0) == pytest.approx(72.0, rel=0.15)
+
+    def test_monotone_aggressiveness(self):
+        h = HighSpeedResponse()
+        a_vals = [h._a(w) for w in (100, 1000, 10000, 80000)]
+        assert a_vals == sorted(a_vals)
+        b_vals = [h._b(w) for w in (100, 1000, 10000, 80000)]
+        assert b_vals == sorted(b_vals, reverse=True)
+
+    def test_gentler_backoff_at_scale(self):
+        h = HighSpeedResponse()
+        assert h.backoff(50000.0) > 0.8
+
+
+class TestScalable:
+    def test_mimd_increment_constant(self):
+        s = ScalableResponse()
+        assert s.ack_increment(100.0) == 0.01
+        assert s.ack_increment(10000.0) == 0.01  # per-ACK, rate-proportional
+
+    def test_backoff_is_gentle(self):
+        assert ScalableResponse().backoff(1000.0) == 0.875
+
+    def test_reno_fallback_at_small_window(self):
+        s = ScalableResponse()
+        assert s.ack_increment(8.0) == pytest.approx(1 / 8.0)
+
+
+class TestBic:
+    def test_binary_search_halves_distance(self):
+        b = BicResponse()
+        b.max_win = 1000.0
+        inc = b.ack_increment(500.0) * 500.0
+        assert inc == pytest.approx(32.0)  # clamped to S_MAX
+        b.max_win = 520.0
+        inc = b.ack_increment(500.0) * 500.0
+        assert inc == pytest.approx(10.0)  # (520+500)/2 - 500
+
+    def test_backoff_sets_new_max(self):
+        b = BicResponse()
+        beta = b.backoff(1000.0)
+        assert beta == pytest.approx(0.875)
+        assert b.max_win == pytest.approx(1000 * 1.875 / 2)
+
+    def test_min_increment_near_target(self):
+        b = BicResponse()
+        b.max_win = 500.001
+        inc = b.ack_increment(500.0) * 500.0
+        assert inc == pytest.approx(b.S_MIN)
+
+
+class TestVegas:
+    def _sender(self, cwnd):
+        class S:
+            pass
+
+        s = S()
+        s.cwnd = cwnd
+        return s
+
+    def test_increases_when_queue_below_alpha(self):
+        v = VegasResponse(alpha=1, beta=3)
+        v.on_rtt_sample(0.100)  # base
+        v.on_rtt_sample(0.100)  # no queueing
+        s = self._sender(10.0)
+        v.per_rtt_adjust(s)
+        assert s.cwnd == 11.0
+
+    def test_decreases_when_queue_above_beta(self):
+        v = VegasResponse(alpha=1, beta=3)
+        v.on_rtt_sample(0.100)
+        v.on_rtt_sample(0.200)  # heavy queueing: diff = cwnd*(1-0.5)=5
+        s = self._sender(10.0)
+        v.per_rtt_adjust(s)
+        assert s.cwnd == 9.0
+
+    def test_holds_within_band(self):
+        v = VegasResponse(alpha=1, beta=6)
+        v.on_rtt_sample(0.100)
+        v.on_rtt_sample(0.125)  # diff = 10*(1-0.8)=2 in [1,6]
+        s = self._sender(10.0)
+        v.per_rtt_adjust(s)
+        assert s.cwnd == 10.0
+
+
+class TestWestwood:
+    def test_bandwidth_estimate_from_acks(self):
+        w = WestwoodResponse()
+        t = 0.0
+        for _ in range(200):
+            w.on_ack_arrival(1, t)
+            t += 0.001  # 1000 pkts/s
+        assert w.bwe_pps == pytest.approx(1000.0, rel=0.05)
+
+    def test_ssthresh_from_bwe(self):
+        w = WestwoodResponse()
+        t = 0.0
+        for _ in range(200):
+            w.on_ack_arrival(1, t)
+            t += 0.001
+        w.on_rtt_sample(0.05)
+
+        class S:
+            cwnd = 100.0
+
+        # BWE * RTTmin = 1000 * 0.05 = 50 packets
+        assert w.ssthresh_after_loss(S()) == pytest.approx(50.0, rel=0.1)
+
+    def test_no_estimate_falls_back(self):
+        w = WestwoodResponse()
+
+        class S:
+            cwnd = 100.0
+
+        assert w.ssthresh_after_loss(S()) is None

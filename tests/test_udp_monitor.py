@@ -1,0 +1,103 @@
+"""Unit tests for the UDP service and the flow monitor."""
+
+import pytest
+
+from repro.sim.monitor import FlowMonitor
+from repro.sim.engine import Simulator
+from repro.sim.packet import IP_UDP_HEADER
+from repro.sim.topology import path_topology
+from repro.sim.udp import UdpEndpoint
+
+
+def make_pair(rate=10e6, rtt=0.02):
+    top = path_topology(rate_bps=rate, rtt=rtt)
+    a = UdpEndpoint(top.src, 5000)
+    b = UdpEndpoint(top.dst, 6000)
+    return top.net, a, b
+
+
+class TestUdp:
+    def test_payload_and_size_delivered(self):
+        net, a, b = make_pair()
+        got = []
+        b.on_receive(lambda p, addr, size: got.append((p, addr, size)))
+        a.sendto({"k": 1}, 100, b.address)
+        net.run(until=1)
+        assert got == [({"k": 1}, a.address, 100)]
+
+    def test_header_overhead_on_wire(self):
+        net, a, b = make_pair()
+        a.sendto(None, 1000, b.address)
+        assert a.bytes_sent == 1000 + IP_UDP_HEADER
+
+    def test_no_reliability_on_overflow(self):
+        # Tiny bottleneck queue: most datagrams vanish, none retried.
+        top = path_topology(rate_bps=1e6, rtt=0.02, queue_pkts=2)
+        a = UdpEndpoint(top.src, 1)
+        b = UdpEndpoint(top.dst, 2)
+        got = []
+        b.on_receive(lambda p, addr, size: got.append(p))
+        for i in range(50):
+            a.sendto(i, 1000, b.address)
+        top.net.run(until=5)
+        assert 0 < len(got) < 50
+
+    def test_auto_port_allocation(self):
+        net, a, b = make_pair()
+        c = UdpEndpoint(b.host)
+        assert c.port != b.port
+
+    def test_closed_endpoint_raises(self):
+        net, a, b = make_pair()
+        a.close()
+        with pytest.raises(RuntimeError):
+            a.sendto(None, 10, b.address)
+
+    def test_close_unbinds_port(self):
+        net, a, b = make_pair()
+        port = a.port
+        a.close()
+        UdpEndpoint(a.host, port)  # port reusable
+
+
+class TestFlowMonitor:
+    def test_total_and_average(self):
+        sim = Simulator()
+        mon = FlowMonitor(sim, bin_width=0.1)
+        for i in range(10):
+            sim.schedule(i * 0.1, mon.on_deliver, "f", 1000)
+        sim.run(until=1.0)
+        assert mon.total_bytes["f"] == 10_000
+        assert mon.throughput_bps("f", 0, 1.0) == pytest.approx(80_000)
+
+    def test_series_resolution(self):
+        sim = Simulator()
+        mon = FlowMonitor(sim, bin_width=0.1)
+        sim.schedule(0.05, mon.on_deliver, "f", 500)
+        sim.schedule(0.95, mon.on_deliver, "f", 1500)
+        sim.run(until=1.0)
+        series = mon.series("f", 0.5, 0, 1.0)
+        assert len(series) == 2
+        assert series[0][1] == pytest.approx(500 * 8 / 0.5)
+        assert series[1][1] == pytest.approx(1500 * 8 / 0.5)
+
+    def test_series_requires_multiple_of_bin(self):
+        sim = Simulator()
+        mon = FlowMonitor(sim, bin_width=0.1)
+        with pytest.raises(ValueError):
+            mon.series("f", 0.25)
+
+    def test_unknown_flow_zero(self):
+        sim = Simulator()
+        mon = FlowMonitor(sim)
+        assert mon.throughput_bps("nope", 0, 1) == 0.0
+
+    def test_sample_matrix_shape(self):
+        sim = Simulator()
+        mon = FlowMonitor(sim, bin_width=0.1)
+        for f in ("a", "b"):
+            for i in range(20):
+                sim.schedule(i * 0.1 + 0.01, mon.on_deliver, f, 100)
+        sim.run(until=2.0)
+        m = mon.sample_matrix(["a", "b"], 1.0, 0.0, 2.0)
+        assert len(m) == 2 and len(m[0]) == 2

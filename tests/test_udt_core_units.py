@@ -1,0 +1,318 @@
+"""Unit tests driving the sans-IO UdtCore directly (no simulator).
+
+A hand-rolled scheduler steps virtual time manually, and transmitted
+messages are captured in lists — exactly how a third harness would embed
+the core, which is the point of the sans-IO design.
+"""
+
+import heapq
+import itertools
+
+import pytest
+
+from repro.udt import packets as P
+from repro.udt.core import UdtCore
+from repro.udt.params import UdtConfig
+
+
+class ManualScheduler:
+    def __init__(self):
+        self.t = 0.0
+        self._heap = []
+        self._counter = itertools.count()
+
+    def now(self):
+        return self.t
+
+    def call_at(self, when, fn):
+        entry = [when, next(self._counter), fn, False]
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def cancel(self, handle):
+        handle[3] = True
+
+    def advance(self, until):
+        while self._heap and self._heap[0][0] <= until:
+            when, _, fn, cancelled = heapq.heappop(self._heap)
+            if cancelled:
+                continue
+            self.t = when
+            fn()
+        self.t = until
+
+
+def make_pair(config=None, loss=None):
+    """Two cores wired back-to-back through in-memory 'wires'."""
+    cfg = config if config is not None else UdtConfig()
+    sched = ManualScheduler()
+    wires = {"a->b": [], "b->a": []}
+
+    a = UdtCore(cfg, sched, lambda m, s: wires["a->b"].append((m, s)), name="a")
+    b = UdtCore(cfg, sched, lambda m, s: wires["b->a"].append((m, s)), name="b")
+
+    def pump():
+        moved = True
+        while moved:
+            moved = False
+            while wires["a->b"]:
+                m, s = wires["a->b"].pop(0)
+                if loss is None or not loss(m):
+                    b.on_datagram(m, s)
+                moved = True
+            while wires["b->a"]:
+                m, s = wires["b->a"].pop(0)
+                if loss is None or not loss(m):
+                    a.on_datagram(m, s)
+                moved = True
+
+    return sched, a, b, pump
+
+
+def step(sched, pump, until, dt=0.001):
+    t = sched.t
+    while t < until:
+        t = min(t + dt, until)
+        sched.advance(t)
+        pump()
+
+
+class TestHandshake:
+    def test_connect_establishes(self):
+        sched, a, b, pump = make_pair()
+        b.listen()
+        a.connect()
+        pump()
+        assert a.connected and b.connected
+
+    def test_duplicate_handshake_is_idempotent(self):
+        sched, a, b, pump = make_pair()
+        b.listen()
+        a.connect()
+        pump()
+        hs = P.Handshake(init_seq=a.init_seq, mss=1500, flow_window=64, req_type=1)
+        b.on_datagram(hs, hs.wire_size)  # replayed request
+        pump()
+        assert a.connected and b.connected
+        assert b.rcv_buffer.next_expected == a.init_seq or b.rcv_buffer.delivered_packets >= 0
+
+    def test_flow_window_adopted_from_peer(self):
+        cfg = UdtConfig(rcv_buffer_pkts=77)
+        sched, a, b, pump = make_pair(cfg)
+        b.listen()
+        a.connect()
+        pump()
+        assert a.flow_window == 77.0
+        assert a.cc.max_cwnd == 77.0
+
+
+class TestAckCadence:
+    def test_one_ack_per_syn_not_per_packet(self):
+        sched, a, b, pump = make_pair()
+        b.listen()
+        a.connect()
+        pump()
+        a.send(50 * 1456)
+        step(sched, pump, 0.25)
+        assert b.stats.acks_sent <= 30  # ~1 per SYN (25 SYNs elapsed)
+        assert a.stats.data_pkts_sent >= 50
+
+    def test_no_acks_when_idle(self):
+        sched, a, b, pump = make_pair()
+        b.listen()
+        a.connect()
+        pump()
+        a.send(5 * 1456)
+        step(sched, pump, 0.2)
+        sent_after_transfer = b.stats.acks_sent
+        step(sched, pump, 1.0)
+        # idle connection: at most a couple of trailing ACKs
+        assert b.stats.acks_sent - sent_after_transfer <= 2
+
+    def test_ack2_closes_rtt_loop(self):
+        sched, a, b, pump = make_pair()
+        b.listen()
+        a.connect()
+        pump()
+        a.send(20 * 1456)
+        step(sched, pump, 0.5)
+        assert a.stats.ack2_sent > 0
+        assert b.rtt_est._initialized
+
+
+class TestLossRecovery:
+    def test_hole_triggers_immediate_nak(self):
+        drop = {"armed": True, "dropped": 0}
+
+        def loss(m):
+            if m.type_name == "data" and m.seq == 5 and drop["armed"]:
+                drop["armed"] = False
+                drop["dropped"] += 1
+                return True
+            return False
+
+        sched, a, b, pump = make_pair(loss=loss)
+        b.listen()
+        a.connect()
+        pump()
+        a.send(20 * 1456)
+        step(sched, pump, 0.5)
+        assert drop["dropped"] == 1
+        assert b.stats.naks_sent >= 1
+        assert a.stats.retransmitted_pkts >= 1
+        assert b.rcv_buffer.delivered_packets == 20
+
+    def test_freeze_after_fresh_loss(self):
+        def loss(m):
+            return m.type_name == "data" and m.seq in (5, 6, 7) and m.retransmitted is False
+
+        sched, a, b, pump = make_pair(loss=loss)
+        b.listen()
+        a.connect()
+        pump()
+        a.send(30 * 1456)
+        step(sched, pump, 0.5)
+        assert a.stats.freezes >= 1
+
+    def test_loss_event_sizes_recorded(self):
+        def loss(m):
+            return m.type_name == "data" and 5 <= m.seq <= 9 and not m.retransmitted
+
+        sched, a, b, pump = make_pair(loss=loss)
+        b.listen()
+        a.connect()
+        pump()
+        a.send(30 * 1456)
+        step(sched, pump, 0.5)
+        assert 5 in b.loss_events
+
+
+class TestProbePairs:
+    def test_pair_sent_back_to_back(self):
+        sched, a, b, pump = make_pair()
+        b.listen()
+        a.connect()
+        pump()
+        # Instrument transmit times of seq 16 and 17 (a probe pair).
+        times = {}
+        original = a._transmit
+
+        def spy(m, s):
+            if m.type_name == "data" and m.seq in (16, 17):
+                times[m.seq] = sched.now()
+            original(m, s)
+
+        a._transmit = spy
+        a.send(40 * 1456)
+        step(sched, pump, 1.0)
+        assert 16 in times and 17 in times
+        assert times[17] - times[16] < a.cc.period / 2  # back-to-back
+
+    def test_probe_pairs_recorded_at_receiver(self):
+        # The manual wires deliver with zero transit time, so a capacity
+        # *estimate* is undefined here (pair interval 0); what the core
+        # must guarantee is that every probe pair reaches the recorder.
+        sched, a, b, pump = make_pair()
+        b.listen()
+        a.connect()
+        pump()
+        a.send(64 * 1456)
+        step(sched, pump, 1.0)
+        assert len(b.probes.window) >= 2
+
+
+class TestBufferLimits:
+    def test_buffer_drop_counted_for_far_future_seq(self):
+        sched, a, b, pump = make_pair()
+        b.listen()
+        a.connect()
+        pump()
+        far = P.DataPacket(seq=a.init_seq + 100_000, size=100)
+        b.on_datagram(far, far.wire_size)
+        assert b.stats.buffer_drops == 1
+
+    def test_send_returns_accepted_bytes_only(self):
+        cfg = UdtConfig(snd_buffer_pkts=4)
+        sched, a, b, pump = make_pair(cfg)
+        b.listen()
+        a.connect()
+        pump()
+        accepted = a.send(100 * 1456)
+        assert accepted <= 4 * cfg.payload_size
+
+    def test_closed_send_raises(self):
+        sched, a, b, pump = make_pair()
+        a.close()
+        with pytest.raises(RuntimeError):
+            a.send(100)
+
+
+class TestDuplex:
+    def test_both_directions_carry_data_on_one_connection(self):
+        """§4.8: 'The UDT library is a duplex transport service.  Each UDT
+        entity has both a sender and a receiver.'"""
+        sched = ManualScheduler()
+        wires = {"a->b": [], "b->a": []}
+        got = {"a": 0, "b": 0}
+        cfg = UdtConfig()
+        a = UdtCore(
+            cfg, sched, lambda m, s: wires["a->b"].append((m, s)),
+            deliver=lambda size, data: got.__setitem__("a", got["a"] + size),
+            name="a",
+        )
+        b = UdtCore(
+            cfg, sched, lambda m, s: wires["b->a"].append((m, s)),
+            deliver=lambda size, data: got.__setitem__("b", got["b"] + size),
+            name="b",
+        )
+
+        def pump():
+            moved = True
+            while moved:
+                moved = False
+                while wires["a->b"]:
+                    m, s = wires["a->b"].pop(0)
+                    b.on_datagram(m, s)
+                    moved = True
+                while wires["b->a"]:
+                    m, s = wires["b->a"].pop(0)
+                    a.on_datagram(m, s)
+                    moved = True
+
+        b.listen()
+        a.connect()
+        pump()
+        a.send(30 * cfg.payload_size)
+        b.send(20 * cfg.payload_size)
+        step(sched, pump, 1.0)
+        assert got["b"] == 30 * cfg.payload_size  # a -> b
+        assert got["a"] == 20 * cfg.payload_size  # b -> a
+
+
+class TestSpeculation:
+    def test_in_order_stream_speculates_perfectly(self):
+        sched, a, b, pump = make_pair()
+        b.listen()
+        a.connect()
+        pump()
+        a.send(50 * 1456)
+        step(sched, pump, 0.5)
+        rb = b.rcv_buffer
+        assert rb.speculation_hits == 50
+        assert rb.speculation_misses == 0
+
+    def test_loss_costs_two_misses(self):
+        def loss(m):
+            return m.type_name == "data" and m.seq == 10 and not m.retransmitted
+
+        sched, a, b, pump = make_pair(loss=loss)
+        b.listen()
+        a.connect()
+        pump()
+        a.send(30 * 1456)
+        step(sched, pump, 1.0)
+        rb = b.rcv_buffer
+        # §4.6: "loss can cause 2 speculation errors (when it is lost and
+        # when the retransmission arrives)"
+        assert rb.speculation_misses == 2
+        assert rb.delivered_packets == 30

@@ -1,0 +1,143 @@
+"""Failure-injection tests: the protocol survives hostile control planes.
+
+Each test wraps an endpoint's transmit path with a fault injector
+(dropping, duplicating or reordering specific message types) and checks
+the transfer still completes exactly once.
+"""
+
+import random
+
+from repro.sim.topology import path_topology
+from repro.udt import start_udt_flow
+
+
+def wrap_transmit(core, fault):
+    """Interpose ``fault(msg, size, forward)`` on a core's transmit."""
+    original = core._transmit
+
+    def wrapped(msg, size):
+        fault(msg, size, original)
+
+    core._transmit = wrapped
+
+
+def test_handshake_response_lost_then_retried():
+    top = path_topology(10e6, 0.02)
+    f = start_udt_flow(top.net, top.src, top.dst, nbytes=50_000)
+    dropped = {"n": 0}
+
+    def fault(msg, size, forward):
+        if msg.type_name == "handshake" and dropped["n"] < 2:
+            dropped["n"] += 1
+            return  # eat the first two handshake replies
+        forward(msg, size)
+
+    wrap_transmit(f.receiver, fault)
+    top.net.run(until=10.0)
+    assert dropped["n"] == 2
+    assert f.done and f.delivered_bytes == 50_000
+
+
+def test_all_naks_dropped_exp_timer_recovers():
+    top = path_topology(10e6, 0.02, loss_rate=0.01, seed=2)
+    f = start_udt_flow(top.net, top.src, top.dst, nbytes=300_000)
+
+    def fault(msg, size, forward):
+        if msg.type_name == "nak":
+            return
+        forward(msg, size)
+
+    wrap_transmit(f.receiver, fault)
+    top.net.run(until=120.0)
+    assert f.done and f.delivered_bytes == 300_000
+    assert f.sender.stats.naks_received == 0
+    assert f.sender.stats.exp_events > 0  # EXP did the recovery
+
+
+def test_every_second_ack_dropped():
+    top = path_topology(10e6, 0.02)
+    f = start_udt_flow(top.net, top.src, top.dst, nbytes=400_000)
+    counter = {"n": 0}
+
+    def fault(msg, size, forward):
+        if msg.type_name == "ack":
+            counter["n"] += 1
+            if counter["n"] % 2 == 0:
+                return
+        forward(msg, size)
+
+    wrap_transmit(f.receiver, fault)
+    top.net.run(until=30.0)
+    assert f.done and f.delivered_bytes == 400_000
+
+
+def test_ack2_blackhole_keeps_default_rtt():
+    top = path_topology(10e6, 0.05)
+    f = start_udt_flow(top.net, top.src, top.dst, nbytes=200_000)
+
+    def fault(msg, size, forward):
+        if msg.type_name == "ack2":
+            return
+        forward(msg, size)
+
+    wrap_transmit(f.sender, fault)
+    top.net.run(until=30.0)
+    assert f.done and f.delivered_bytes == 200_000
+
+
+def test_duplicated_data_is_delivered_once():
+    top = path_topology(10e6, 0.02, seed=5)
+    f = start_udt_flow(top.net, top.src, top.dst, nbytes=150_000)
+    rng = random.Random(0)
+
+    def fault(msg, size, forward):
+        forward(msg, size)
+        if msg.type_name == "data" and rng.random() < 0.2:
+            forward(msg, size)  # duplicate 20% of data packets
+
+    wrap_transmit(f.sender, fault)
+    top.net.run(until=30.0)
+    assert f.done
+    assert f.delivered_bytes == 150_000
+    assert f.receiver.rcv_buffer.duplicates > 0
+
+
+def test_reordered_data_is_delivered_in_order():
+    top = path_topology(10e6, 0.02, seed=7)
+    f = start_udt_flow(top.net, top.src, top.dst, nbytes=150_000)
+    held = []
+    rng = random.Random(1)
+
+    def fault(msg, size, forward):
+        if msg.type_name == "data" and rng.random() < 0.1 and not held:
+            held.append((msg, size))  # hold one packet back...
+            return
+        forward(msg, size)
+        if held and rng.random() < 0.5:
+            m, s = held.pop()
+            forward(m, s)  # ...and release it late (out of order)
+
+    wrap_transmit(f.sender, fault)
+    sizes = []
+    inner = f.receiver.rcv_buffer._deliver
+
+    def tap(size, data):
+        inner(size, data)
+        sizes.append(size)
+
+    f.receiver.rcv_buffer._deliver = tap
+    top.net.run(until=60.0)
+    assert f.done
+    assert sum(sizes) == 150_000
+
+
+def test_corrupt_nak_report_is_ignored():
+    from repro.udt.packets import Nak
+
+    top = path_topology(10e6, 0.02)
+    f = start_udt_flow(top.net, top.src, top.dst, nbytes=100_000)
+    top.net.run(until=1.0)
+    # Inject a NAK whose report is syntactically invalid.
+    f.sender.on_datagram(Nak(loss=[5 | (1 << 31)]), 20)  # dangling flag
+    top.net.run(until=10.0)
+    assert f.done and f.delivered_bytes == 100_000

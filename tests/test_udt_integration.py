@@ -1,0 +1,178 @@
+"""Integration tests: full UDT connections over the simulated network."""
+
+import pytest
+
+from repro.sim.topology import dumbbell, path_topology
+from repro.udt import UdtConfig, start_udt_flow
+from repro.udt.cc import FixedAimdCC
+from repro.udt.params import MAX_SEQ_NO
+from repro.udt.sim_adapter import UdtFlow
+
+
+def test_handshake_establishes_both_sides():
+    top = path_topology(10e6, 0.02)
+    f = start_udt_flow(top.net, top.src, top.dst, nbytes=0)
+    top.net.run(until=1.0)
+    assert f.sender.connected
+    assert f.receiver.connected
+    assert f.receiver.rcv_buffer.next_expected == f.sender.init_seq
+
+
+def test_finite_transfer_completes_exactly():
+    top = path_topology(10e6, 0.02)
+    nbytes = 500_000
+    f = start_udt_flow(top.net, top.src, top.dst, nbytes=nbytes)
+    top.net.run(until=10.0)
+    assert f.done
+    assert f.delivered_bytes == nbytes
+    assert f.finish_time < 2.0
+
+
+def test_bulk_flow_fills_clean_link():
+    top = path_topology(100e6, 0.02)
+    f = start_udt_flow(top.net, top.src, top.dst)
+    top.net.run(until=6.0)
+    # goodput ceiling is rate * payload/mss ~ 97 Mb/s
+    assert f.throughput_bps(3.0, 6.0) > 90e6
+    # the ramp may cost a handful of packets; steady state is loss-free
+    assert f.sender.stats.retransmitted_pkts < 50
+
+
+def test_recovers_from_random_loss():
+    # 0.1% random link loss: NAK/retransmission must keep delivery exact.
+    top = path_topology(20e6, 0.02, loss_rate=0.001)
+    nbytes = 2_000_000
+    f = start_udt_flow(top.net, top.src, top.dst, nbytes=nbytes)
+    top.net.run(until=30.0)
+    assert f.done
+    assert f.delivered_bytes == nbytes
+    assert f.sender.stats.retransmitted_pkts > 0
+    assert f.sender.stats.naks_received > 0
+
+
+def test_survives_heavy_loss():
+    top = path_topology(20e6, 0.02, loss_rate=0.05)
+    nbytes = 300_000
+    f = start_udt_flow(top.net, top.src, top.dst, nbytes=nbytes)
+    top.net.run(until=60.0)
+    assert f.done
+    assert f.delivered_bytes == nbytes
+
+
+def test_sequence_wraparound_transfer():
+    cfg = UdtConfig()
+    top = path_topology(20e6, 0.01)
+    # Start 100 packets before the wrap point.
+    flow = UdtFlow(top.net, top.src, top.dst, config=cfg, nbytes=1_000_000)
+    flow.sender.init_seq = MAX_SEQ_NO - 100
+    flow.sender.curr_seq = MAX_SEQ_NO - 100
+    flow.sender.snd_last_ack = MAX_SEQ_NO - 100
+    flow.sender.max_seq_sent = MAX_SEQ_NO - 101
+    top.net.run(until=10.0)
+    assert flow.done
+    assert flow.delivered_bytes == 1_000_000
+
+
+def test_congestion_triggers_decrease_and_freeze():
+    # Two bulk flows into one bottleneck must overflow the queue.
+    d = dumbbell(2, 50e6, 0.02, queue_pkts=50)
+    f1 = start_udt_flow(d.net, d.sources[0], d.sinks[0])
+    f2 = start_udt_flow(d.net, d.sources[1], d.sinks[1])
+    d.net.run(until=15.0)
+    assert f1.sender.cc.decreases + f2.sender.cc.decreases > 0
+    assert f1.sender.stats.freezes + f2.sender.stats.freezes > 0
+
+
+def test_two_flows_share_fairly():
+    d = dumbbell(2, 50e6, 0.02)
+    f1 = start_udt_flow(d.net, d.sources[0], d.sinks[0])
+    f2 = start_udt_flow(d.net, d.sources[1], d.sinks[1])
+    d.net.run(until=20.0)
+    t1 = f1.throughput_bps(10, 20)
+    t2 = f2.throughput_bps(10, 20)
+    assert t1 + t2 > 40e6  # high utilisation
+    assert min(t1, t2) / max(t1, t2) > 0.6  #近 fair share
+
+
+def test_flow_window_limits_inflight():
+    cfg = UdtConfig(rcv_buffer_pkts=32)
+    top = path_topology(100e6, 0.1)
+    f = start_udt_flow(top.net, top.src, top.dst, config=cfg)
+    top.net.run(until=5.0)
+    # BDP is ~860 packets but the peer buffer caps flight at 32.
+    from repro.udt.seqno import seq_off
+
+    unacked = seq_off(f.sender.snd_last_ack, f.sender.curr_seq)
+    assert unacked <= 32
+    # throughput is window-bound: 32 * 1456B / 0.1s ~ 3.7 Mb/s
+    assert f.throughput_bps(2, 5) < 10e6
+
+
+def test_receiver_buffer_never_overflows_delivery():
+    cfg = UdtConfig(rcv_buffer_pkts=64)
+    top = path_topology(50e6, 0.05)
+    nbytes = 1_000_000
+    f = start_udt_flow(top.net, top.src, top.dst, config=cfg, nbytes=nbytes)
+    top.net.run(until=20.0)
+    assert f.done
+    assert f.delivered_bytes == nbytes
+
+
+def test_bandwidth_estimate_converges_to_capacity():
+    top = path_topology(100e6, 0.02)
+    f = start_udt_flow(top.net, top.src, top.dst)
+    top.net.run(until=5.0)
+    est_bps = f.sender.bandwidth * 1500 * 8
+    assert est_bps == pytest.approx(100e6, rel=0.05)
+
+
+def test_rtt_estimate_converges():
+    top = path_topology(100e6, 0.05)
+    f = start_udt_flow(top.net, top.src, top.dst)
+    top.net.run(until=5.0)
+    # receiver's ACK2-based estimate, reflected to the sender via ACKs
+    assert f.sender.rtt == pytest.approx(0.05, rel=0.25)
+
+
+def test_custom_cc_pluggable():
+    top = path_topology(100e6, 0.02)
+    f = start_udt_flow(
+        top.net, top.src, top.dst, cc_factory=lambda cfg: FixedAimdCC(cfg, 1.0)
+    )
+    top.net.run(until=5.0)
+    assert isinstance(f.sender.cc, FixedAimdCC)
+    assert f.throughput_bps(2, 5) > 50e6
+
+
+def test_close_sends_shutdown():
+    top = path_topology(10e6, 0.02)
+    f = start_udt_flow(top.net, top.src, top.dst)
+    top.net.run(until=1.0)
+    f.sender.close()
+    top.net.run(until=1.5)
+    assert f.receiver.closed
+
+
+def test_ack_traffic_is_timer_based_not_per_packet():
+    top = path_topology(100e6, 0.02)
+    f = start_udt_flow(top.net, top.src, top.dst)
+    top.net.run(until=5.0)
+    data = f.sender.stats.data_pkts_sent
+    acks = f.receiver.stats.acks_sent
+    # ~1 ACK per SYN (500 over 5 s), while data is tens of thousands.
+    assert acks < 600
+    assert data > 20_000
+
+
+def test_exp_timeout_retransmits_when_all_feedback_lost():
+    # Break the reverse path entirely after connection setup by closing
+    # the receiver-side endpoint; sender must hit EXP and not spin.
+    top = path_topology(2e6, 0.02)
+    f = start_udt_flow(top.net, top.src, top.dst, nbytes=2_000_000)
+    top.net.run(until=0.5)  # mid-transfer
+    assert not f.done
+    # Blackhole the reverse path: every ACK/NAK from the receiver vanishes.
+    f.receiver._transmit = lambda msg, size: None
+    top.net.run(until=10.0)
+    assert f.sender.stats.exp_events > 0
+    assert f.sender.stats.retransmitted_pkts > 0

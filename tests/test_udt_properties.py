@@ -1,0 +1,80 @@
+"""Property-based end-to-end invariants of the UDT protocol.
+
+Whatever the path looks like (loss, delay, rate, buffer geometry), a
+finite transfer must deliver exactly its bytes, in order, with the
+protocol state quiescing afterwards.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim.topology import path_topology
+from repro.udt import UdtConfig, start_udt_flow
+from repro.udt.seqno import seq_off
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    loss=st.sampled_from([0.0, 0.001, 0.01, 0.05]),
+    rtt=st.sampled_from([0.002, 0.02, 0.1]),
+    rate_mbps=st.sampled_from([5, 20, 50]),
+    nbytes=st.integers(min_value=1, max_value=400_000),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_transfer_is_exactly_once_in_order(loss, rtt, rate_mbps, nbytes, seed):
+    top = path_topology(rate_mbps * 1e6, rtt, loss_rate=loss, seed=seed)
+    f = start_udt_flow(top.net, top.src, top.dst, nbytes=nbytes)
+    sizes = []
+    inner = f.receiver.rcv_buffer._deliver
+
+    def tap(size, data):
+        inner(size, data)
+        sizes.append(size)
+
+    f.receiver.rcv_buffer._deliver = tap
+    # Generous horizon: heavy loss on a slow link needs time.
+    top.net.run(until=120.0)
+    assert f.done, (
+        f"transfer stalled: delivered {f.delivered_bytes}/{nbytes} "
+        f"(loss={loss}, rtt={rtt}, rate={rate_mbps})"
+    )
+    assert sum(sizes) == nbytes
+    # Exactly-once: the buffer never delivered a duplicate byte.
+    assert f.receiver.rcv_buffer.delivered_bytes == nbytes
+    # Quiescence: everything sent was eventually acknowledged.
+    snd = f.sender
+    top.net.run(until=top.net.sim.now + 5.0)
+    assert seq_off(snd.snd_last_ack, snd.curr_seq) == 0
+    assert len(f.receiver.rcv_loss) == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    rcv_buf=st.integers(min_value=8, max_value=64),
+    snd_buf=st.integers(min_value=8, max_value=64),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_tiny_buffers_never_deadlock(rcv_buf, snd_buf, seed):
+    cfg = UdtConfig(rcv_buffer_pkts=rcv_buf, snd_buffer_pkts=snd_buf)
+    top = path_topology(20e6, 0.02, seed=seed)
+    f = start_udt_flow(top.net, top.src, top.dst, config=cfg, nbytes=150_000)
+    top.net.run(until=60.0)
+    assert f.done
+    assert f.delivered_bytes == 150_000
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    mss=st.sampled_from([576, 1000, 1500, 4000]),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_any_mss_transfers_exactly(mss, seed):
+    cfg = UdtConfig(mss=mss)
+    top = path_topology(20e6, 0.02, loss_rate=0.005, seed=seed)
+    f = start_udt_flow(top.net, top.src, top.dst, config=cfg, nbytes=200_000)
+    top.net.run(until=60.0)
+    assert f.done
+    assert f.delivered_bytes == 200_000
