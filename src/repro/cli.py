@@ -1,8 +1,13 @@
 """Command-line entry point: ``python -m repro`` / ``repro-udt``.
 
-    repro-udt list                  # show all experiments
+    repro-udt list                  # show all experiments (id, artefact,
+                                    # one-line description)
     repro-udt run fig02             # run one experiment, print its table
     repro-udt run all               # run everything (slow)
+    repro-udt run fig04 --trace out.jsonl --summary
+                                    # fully traced run: JSONL event trace
+                                    # (CC timelines, drops, EXP events)
+                                    # plus a telemetry summary
 
 ``REPRO_SCALE`` (default 0.3) scales experiment durations; set it to 1
 for the paper's published durations.
@@ -16,6 +21,7 @@ import time
 from typing import List, Optional
 
 from repro.experiments import get_experiment, list_experiments
+from repro.experiments.common import traced
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -36,11 +42,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="override a runner keyword, e.g. --set duration=60 "
         "--set rate_bps=1e9 (repeatable; ignored with 'all')",
     )
+    runp.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL telemetry trace (CC-state timelines, loss/EXP "
+        "events, link drops) of the whole run to PATH",
+    )
+    runp.add_argument(
+        "--summary",
+        action="store_true",
+        help="print a telemetry summary (event counts, last CC state per "
+        "connection) after the run",
+    )
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
-        for exp in list_experiments():
-            print(f"{exp.exp_id:26s} {exp.paper_artefact:16s} {exp.description}")
+        exps = list_experiments()
+        id_w = max(len(e.exp_id) for e in exps)
+        art_w = max(len(e.paper_artefact) for e in exps)
+        for exp in exps:
+            print(
+                f"{exp.exp_id:<{id_w}}  {exp.paper_artefact:<{art_w}}  "
+                f"{exp.description}"
+            )
         return 0
 
     kwargs = {}
@@ -60,13 +85,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.exp_id == "all"
         else [args.exp_id]
     )
-    for exp_id in ids:
-        exp = get_experiment(exp_id)
-        t0 = time.perf_counter()
-        result = exp.runner(**(kwargs if args.exp_id != "all" else {}))
-        dt = time.perf_counter() - t0
-        result.print()
-        print(f"[{exp_id} finished in {dt:.1f}s wall]\n")
+    with traced(
+        args.trace, summary=args.summary, generator="repro-udt", experiments=ids
+    ) as session:
+        for exp_id in ids:
+            exp = get_experiment(exp_id)
+            t0 = time.perf_counter()
+            result = exp.runner(**(kwargs if args.exp_id != "all" else {}))
+            dt = time.perf_counter() - t0
+            result.print()
+            print(f"[{exp_id} finished in {dt:.1f}s wall]\n")
+    if args.trace:
+        print(f"[trace: {session.events_written} events -> {args.trace}]")
+    if args.summary:
+        print(session.summary_text())
     return 0
 
 

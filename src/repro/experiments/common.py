@@ -1,10 +1,11 @@
-"""Shared experiment plumbing: results, scaling, formatting."""
+"""Shared experiment plumbing: results, scaling, formatting, tracing."""
 
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 
 @dataclass
@@ -80,3 +81,28 @@ def scaled(seconds: float, minimum: float = 2.0) -> float:
 
 def mbps(bps: float) -> float:
     return bps / 1e6
+
+
+@contextmanager
+def traced(
+    trace_path: Optional[str] = None, summary: bool = False, **meta: Any
+) -> Iterator[Any]:
+    """Run any experiment fully traced.
+
+    Subscribes a JSONL writer (when ``trace_path`` is given) and/or a
+    :class:`~repro.obs.export.TraceSummary` to the process default bus,
+    which wakes up every instrumentation point in the stack — protocol
+    cores, links, meters — for the duration of the block::
+
+        with traced("out.jsonl", summary=True) as session:
+            result = get_experiment("fig04").runner()
+        print(session.summary_text())
+
+    With neither output requested the block runs untraced (the bus stays
+    disabled, so the instrumented paths keep their near-zero idle cost).
+    Yields a :class:`~repro.obs.export.TraceSession`.
+    """
+    from repro.obs.export import trace_session
+
+    with trace_session(trace_path, summary=summary, **meta) as session:
+        yield session

@@ -17,7 +17,9 @@ why the per-byte coefficients dwarf everything else.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
+
+from repro.obs import bus as OB
 
 #: Dual 2.4 GHz Xeon (the paper's end hosts), cycles per second.
 DEFAULT_CPU_HZ = 4.8e9
@@ -144,10 +146,20 @@ class CpuMeter:
         costs: CostModel,
         clock: Callable[[], float],
         cpu_hz: float = DEFAULT_CPU_HZ,
+        bus: Optional[OB.EventBus] = None,
+        name: Optional[str] = None,
+        emit_every: int = 256,
     ):
         self.costs = costs
         self.clock = clock
         self.cpu_hz = cpu_hz
+        #: telemetry: one aggregated ``cpu.charge`` event per
+        #: ``emit_every`` data packets (per-packet events would dominate
+        #: any trace); dormant while the bus has no subscriber.
+        self.bus = bus if bus is not None else OB.default_bus()
+        self.name = name if name is not None else costs.name
+        self.emit_every = emit_every
+        self._since_emit = 0
         self.cycles: Dict[str, float] = {
             "udp_io": 0.0,
             "timing": 0.0,
@@ -170,6 +182,8 @@ class CpuMeter:
         cy["codec"] += c.codec_pkt
         cy["app"] += c.app
         cy["other"] += c.other
+        if self.bus.enabled:
+            self._maybe_emit()
 
     def on_data_received(self, size: int) -> None:
         c = self.costs
@@ -180,6 +194,21 @@ class CpuMeter:
         cy["measurement"] += c.measurement
         cy["app"] += c.app
         cy["other"] += c.other
+        if self.bus.enabled:
+            self._maybe_emit()
+
+    def _maybe_emit(self) -> None:
+        self._since_emit += 1
+        if self._since_emit < self.emit_every:
+            return
+        self._since_emit = 0
+        self.bus.emit(
+            OB.CPU_CHARGE,
+            self.clock(),
+            self.name,
+            total_cycles=self.total_cycles,
+            util=self.utilization(),
+        )
 
     def on_ctrl(self, kind: str) -> None:
         self.cycles["ctrl"] += self.costs.ctrl

@@ -1,0 +1,81 @@
+"""Unified telemetry: event bus, CC timelines, metrics, JSONL export.
+
+``repro.obs`` is the observability substrate shared by the simulator,
+the UDT protocol core, and the host cost models.  Design rules:
+
+* **Zero-dependency, near-zero cost off.**  Every instrumentation point
+  in hot code is guarded by ``bus.enabled`` (a plain attribute) so that
+  with no subscriber attached the only cost is one attribute load and a
+  branch — cheap enough to leave compiled in everywhere (Narses-style).
+* **One process-wide default bus.**  Components constructed without an
+  explicit bus fall back to :func:`default_bus`, so a CLI flag (or a
+  test) can subscribe once and observe every connection, link and meter
+  in the process without plumbing a bus through each constructor.
+* **Typed, timestamped events.**  Event kinds are dotted strings
+  (``cc.sample``, ``link.drop``, ...; see :mod:`repro.obs.bus`), each
+  with a documented field set (docs/OBSERVABILITY.md).
+* **Replayable.**  The qlog-inspired JSONL export round-trips: a
+  :class:`TimelineRecorder` rebuilt from a trace file reproduces the
+  in-memory per-connection timelines exactly.
+"""
+
+from repro.obs.bus import (
+    CC_DECREASE,
+    CC_DELAY_WARNING,
+    CC_SAMPLE,
+    CC_SLOWSTART_EXIT,
+    CONN_CLOSED,
+    CONN_CONNECTED,
+    CPU_CHARGE,
+    EXP_TIMEOUT,
+    FLOW_DONE,
+    LINK_DROP,
+    QUEUE_HIGHWATER,
+    RCV_LOSS,
+    SND_ACK,
+    SND_NAK,
+    Event,
+    EventBus,
+    Subscription,
+    default_bus,
+)
+from repro.obs.export import (
+    JsonlWriter,
+    TraceSession,
+    TraceSummary,
+    read_events,
+    trace_session,
+    trace_to_file,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeline import CcSample, TimelineRecorder
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "Subscription",
+    "default_bus",
+    "CONN_CONNECTED",
+    "CONN_CLOSED",
+    "SND_ACK",
+    "SND_NAK",
+    "CC_SAMPLE",
+    "CC_SLOWSTART_EXIT",
+    "CC_DECREASE",
+    "CC_DELAY_WARNING",
+    "EXP_TIMEOUT",
+    "RCV_LOSS",
+    "LINK_DROP",
+    "QUEUE_HIGHWATER",
+    "CPU_CHARGE",
+    "FLOW_DONE",
+    "JsonlWriter",
+    "TraceSession",
+    "TraceSummary",
+    "read_events",
+    "trace_session",
+    "trace_to_file",
+    "MetricsRegistry",
+    "TimelineRecorder",
+    "CcSample",
+]

@@ -1,0 +1,203 @@
+"""JSONL trace export and run summaries (qlog-inspired).
+
+One event per line, flat JSON objects::
+
+    {"kind": "trace.meta", "schema": 1, "generator": "repro-udt", ...}
+    {"t": 0.1103, "kind": "cc.sample", "src": "udt0-snd", "rate_bps": ...}
+    {"t": 0.2150, "kind": "link.drop", "src": "1->2", "reason": "queue", ...}
+
+The first line is a metadata header (``kind == "trace.meta"``); every
+other line is an event with at least ``t``/``kind``/``src``.  Flat JSONL
+(rather than nested qlog) keeps the files greppable and streamable —
+``jq 'select(.kind=="cc.sample")'`` is the expected workflow — while the
+schema field leaves room to evolve.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from collections import Counter as _Counter, defaultdict
+from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO
+
+from repro.obs.bus import CC_SAMPLE, Event, EventBus, Subscription, default_bus
+
+SCHEMA_VERSION = 1
+
+
+class JsonlWriter:
+    """Streams bus events to a text file as JSON lines."""
+
+    def __init__(self, out: TextIO, close_out: bool = False):
+        self._out = out
+        self._close_out = close_out
+        self.events_written = 0
+        self._bus: Optional[EventBus] = None
+        self._sub: Optional[Subscription] = None
+
+    def write_meta(self, **meta: Any) -> None:
+        rec = {"kind": "trace.meta", "schema": SCHEMA_VERSION}
+        rec.update(meta)
+        self._out.write(json.dumps(rec, separators=(",", ":"), default=str) + "\n")
+
+    def on_event(self, ev: Event) -> None:
+        self._out.write(
+            json.dumps(ev.to_dict(), separators=(",", ":"), default=str) + "\n"
+        )
+        self.events_written += 1
+
+    # -- wiring ----------------------------------------------------------
+    def attach(
+        self, bus: Optional[EventBus] = None, kinds: Optional[Iterable[str]] = None
+    ) -> "JsonlWriter":
+        if self._sub is not None:
+            raise RuntimeError("writer already attached")
+        self._bus = bus if bus is not None else default_bus()
+        self._sub = self._bus.subscribe(self.on_event, kinds=kinds)
+        return self
+
+    def detach(self) -> None:
+        if self._bus is not None and self._sub is not None:
+            self._bus.unsubscribe(self._sub)
+        self._bus = self._sub = None
+
+    def close(self) -> None:
+        self.detach()
+        self._out.flush()
+        if self._close_out:
+            self._out.close()
+
+
+def read_events(
+    path: str, kinds: Optional[Iterable[str]] = None, include_meta: bool = False
+) -> Iterator[Dict[str, Any]]:
+    """Yield event dicts from a JSONL trace (optionally filtered by kind)."""
+    kindset = frozenset(kinds) if kinds is not None else None
+    with open(path, "r") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("kind") == "trace.meta":
+                if include_meta:
+                    yield rec
+                continue
+            if kindset is None or rec.get("kind") in kindset:
+                yield rec
+
+
+@contextmanager
+def trace_to_file(
+    path: str,
+    bus: Optional[EventBus] = None,
+    kinds: Optional[Iterable[str]] = None,
+    **meta: Any,
+) -> Iterator[JsonlWriter]:
+    """Write every event emitted inside the block to ``path``."""
+    writer = JsonlWriter(open(path, "w"), close_out=True)
+    writer.write_meta(**meta)
+    writer.attach(bus, kinds=kinds)
+    try:
+        yield writer
+    finally:
+        writer.close()
+
+
+class TraceSummary:
+    """Cheap aggregate view of a run: event counts and last CC state."""
+
+    def __init__(self) -> None:
+        self.counts: _Counter = _Counter()
+        self.by_src: Dict[str, _Counter] = defaultdict(_Counter)
+        self.last_cc: Dict[str, Dict[str, Any]] = {}
+        self.t_min: Optional[float] = None
+        self.t_max: Optional[float] = None
+
+    def on_event(self, ev: Event) -> None:
+        self.counts[ev.kind] += 1
+        self.by_src[ev.src][ev.kind] += 1
+        if self.t_min is None or ev.t < self.t_min:
+            self.t_min = ev.t
+        if self.t_max is None or ev.t > self.t_max:
+            self.t_max = ev.t
+        if ev.kind == CC_SAMPLE:
+            self.last_cc[ev.src] = dict(ev.fields, t=ev.t)
+
+    @property
+    def total_events(self) -> int:
+        return sum(self.counts.values())
+
+    def to_text(self) -> str:
+        lines = ["== telemetry summary =="]
+        if self.t_min is not None:
+            lines.append(
+                f"{self.total_events} events over t=[{self.t_min:.3f}, {self.t_max:.3f}]s virtual"
+            )
+        for kind in sorted(self.counts):
+            lines.append(f"  {kind:<20s} {self.counts[kind]}")
+        for src in sorted(self.last_cc):
+            s = self.last_cc[src]
+            lines.append(
+                f"  {src}: last rate={s.get('rate_bps', 0.0)/1e6:.2f} Mb/s "
+                f"cwnd={s.get('cwnd', 0.0):.1f} rtt={s.get('rtt', 0.0)*1e3:.2f} ms "
+                f"bw_est={s.get('bw_est', 0.0):.0f} pkt/s loss_len={s.get('loss_len', 0)}"
+            )
+        return "\n".join(lines)
+
+
+class TraceSession:
+    """One observability session: optional JSONL writer + summary.
+
+    Created by :func:`trace_session`; the CLI and experiment helpers use
+    it so a single object carries whatever telemetry the run asked for.
+    """
+
+    def __init__(
+        self,
+        writer: Optional[JsonlWriter] = None,
+        summary: Optional[TraceSummary] = None,
+    ):
+        self.writer = writer
+        self.summary = summary
+
+    @property
+    def events_written(self) -> int:
+        return self.writer.events_written if self.writer is not None else 0
+
+    def summary_text(self) -> Optional[str]:
+        return self.summary.to_text() if self.summary is not None else None
+
+
+@contextmanager
+def trace_session(
+    trace_path: Optional[str] = None,
+    summary: bool = False,
+    bus: Optional[EventBus] = None,
+    kinds: Optional[Iterable[str]] = None,
+    **meta: Any,
+) -> Iterator[TraceSession]:
+    """Subscribe a writer and/or summary to ``bus`` for the block's duration.
+
+    With neither ``trace_path`` nor ``summary`` requested this is a
+    no-op context (the bus stays disabled and emit sites stay dormant).
+    """
+    bus = bus if bus is not None else default_bus()
+    subs: List[Subscription] = []
+    writer: Optional[JsonlWriter] = None
+    summ: Optional[TraceSummary] = None
+    try:
+        if trace_path:
+            writer = JsonlWriter(open(trace_path, "w"), close_out=True)
+            writer.write_meta(**meta)
+            subs.append(bus.subscribe(writer.on_event, kinds=kinds))
+        if summary:
+            summ = TraceSummary()
+            subs.append(bus.subscribe(summ.on_event, kinds=kinds))
+        yield TraceSession(writer, summ)
+    finally:
+        for sub in subs:
+            bus.unsubscribe(sub)
+        if writer is not None:
+            writer._bus = writer._sub = None
+            writer.close()

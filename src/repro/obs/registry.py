@@ -1,0 +1,193 @@
+"""Metrics registry: named counters, gauges and histograms with labels.
+
+Complements the event bus: events answer *what happened when*, the
+registry answers *how much in total*.  It absorbs the protocol core's
+``UdtStats`` counters (per-flow labelled) plus any ad-hoc gauges and
+histograms an experiment wants to publish, and renders to a flat dict
+(for JSON export) or an aligned text table (for ``--summary``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _labelkey(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+    def set(self, v: int) -> None:
+        """Absorb an externally-maintained monotonic count."""
+        self.value = max(self.value, v)
+
+
+class Gauge:
+    """Last-value-wins instantaneous measurement."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max plus a bounded sample.
+
+    Keeps the first ``reservoir`` observations for percentile queries —
+    enough for experiment-scale runs without unbounded memory.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "_sample", "_cap")
+
+    def __init__(self, name: str, labels: LabelKey, reservoir: int = 4096):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._sample: List[float] = []
+        self._cap = reservoir
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        if len(self._sample) < self._cap:
+            self._sample.append(v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (q in [0, 100]) from the sample."""
+        if not self._sample:
+            return 0.0
+        s = sorted(self._sample)
+        idx = min(len(s) - 1, max(0, int(round(q / 100.0 * (len(s) - 1)))))
+        return s[idx]
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # -- get-or-create ---------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _labelkey(labels))
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter(name, key[1])
+        return c
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _labelkey(labels))
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge(name, key[1])
+        return g
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = (name, _labelkey(labels))
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram(name, key[1])
+        return h
+
+    # -- absorption ------------------------------------------------------
+    def absorb_udt_stats(self, core: Any, **labels: Any) -> None:
+        """Snapshot a ``UdtCore``'s ``UdtStats`` counters.
+
+        Each dataclass field becomes a counter ``udt.<field>`` labelled
+        with (at least) the endpoint name.
+        """
+        labels.setdefault("endpoint", getattr(core, "name", "udt"))
+        stats = core.stats
+        for field, value in vars(stats).items():
+            self.counter(f"udt.{field}", **labels).set(int(value))
+
+    def absorb_link(self, link: Any, **labels: Any) -> None:
+        """Snapshot a simulated link's packet/byte/drop/peak counters."""
+        labels.setdefault("link", getattr(link, "name", "link"))
+        self.counter("link.pkts_sent", **labels).set(link.pkts_sent)
+        self.counter("link.bytes_sent", **labels).set(link.bytes_sent)
+        self.counter("link.pkts_lost", **labels).set(link.pkts_lost)
+        q = link.queue
+        self.counter("queue.drops", **labels).set(q.drops)
+        self.counter("queue.enqueued", **labels).set(q.enqueued)
+        self.gauge("queue.peak_pkts", **labels).set(q.peak_pkts)
+        self.gauge("queue.peak_bytes", **labels).set(q.peak_bytes)
+
+    # -- export ----------------------------------------------------------
+    def collect(self) -> List[Dict[str, Any]]:
+        """Flat rows: {type, name, labels, value...} sorted by name."""
+        rows: List[Dict[str, Any]] = []
+        for (name, labels), c in self._counters.items():
+            rows.append(
+                {"type": "counter", "name": name, "labels": dict(labels), "value": c.value}
+            )
+        for (name, labels), g in self._gauges.items():
+            rows.append(
+                {"type": "gauge", "name": name, "labels": dict(labels), "value": g.value}
+            )
+        for (name, labels), h in self._histograms.items():
+            rows.append(
+                {
+                    "type": "histogram",
+                    "name": name,
+                    "labels": dict(labels),
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                    "mean": h.mean,
+                    "p50": h.percentile(50),
+                    "p99": h.percentile(99),
+                }
+            )
+        rows.sort(key=lambda r: (r["name"], sorted(r["labels"].items())))
+        return rows
+
+    def to_text(self) -> str:
+        lines = []
+        for row in self.collect():
+            labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+            if row["type"] == "histogram":
+                val = (
+                    f"count={row['count']} mean={row['mean']:.4g} "
+                    f"min={row['min']} max={row['max']} p99={row['p99']:.4g}"
+                )
+            else:
+                val = f"{row['value']:g}" if isinstance(row["value"], float) else str(row["value"])
+            lines.append(f"{row['name']}{{{labels}}} {val}")
+        return "\n".join(lines)

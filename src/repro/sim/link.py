@@ -8,14 +8,23 @@ loss of *any* fragment loses the whole transport packet — the
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
+from repro.obs import bus as OB
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
 from repro.sim.queues import DropTailQueue
 
 #: Per-IP-fragment header bytes (IPv4 header repeated on each fragment).
 FRAG_HEADER = 20
+
+#: Tap event kinds (ns-2 letters; re-exported by :mod:`repro.sim.trace`).
+ENQUEUE = "+"
+DEQUEUE = "-"
+DROP = "d"
+
+#: A link tap: ``tap(kind, time, link, pkt)``.
+LinkTap = Callable[[str, float, "Link", Packet], None]
 
 
 class Link:
@@ -80,6 +89,14 @@ class Link:
         self.bytes_sent = 0
         self.pkts_sent = 0
         self.pkts_lost = 0
+        # observability: stable hook points (no monkey-patching needed).
+        # ``taps`` see every enqueue/dequeue/drop; the bus gets drop and
+        # queue high-water events.  Both paths are dormant-by-default:
+        # an empty tap list is one truthiness check, a disabled bus one
+        # attribute load.
+        self.taps: List[LinkTap] = []
+        self.bus = OB.default_bus()
+        self._q_highwater = 0
 
     # -- helpers --------------------------------------------------------
     def wire_size(self, pkt: Packet) -> int:
@@ -97,11 +114,58 @@ class Link:
     def tx_time(self, pkt: Packet) -> float:
         return self.wire_size(pkt) * 8.0 / self.rate_bps
 
+    # -- observability hooks --------------------------------------------
+    def add_tap(self, tap: LinkTap) -> None:
+        """Register a packet-event tap (idempotent).
+
+        Equality comparison (not identity): bound methods compare equal
+        across accesses, so ``add_tap(obj.cb)`` / ``remove_tap(obj.cb)``
+        pair up naturally.
+        """
+        if tap not in self.taps:
+            self.taps.append(tap)
+
+    def remove_tap(self, tap: LinkTap) -> None:
+        self.taps = [t for t in self.taps if t != tap]
+
+    def _fire_taps(self, kind: str, pkt: Packet) -> None:
+        t = self.sim.now
+        for tap in self.taps:
+            tap(kind, t, self, pkt)
+
     # -- data path ------------------------------------------------------
     def send(self, pkt: Packet) -> bool:
         """Hand a packet to this link's egress; False if the queue drops it."""
         if self._busy:
-            return self.queue.push(pkt)
+            ok = self.queue.push(pkt)
+            if self.taps:
+                self._fire_taps(ENQUEUE if ok else DROP, pkt)
+            bus = self.bus
+            if bus.enabled:
+                if not ok:
+                    bus.emit(
+                        OB.LINK_DROP,
+                        self.sim.now,
+                        self.name,
+                        reason="queue",
+                        size=pkt.size,
+                        flow=pkt.flow,
+                        qlen=len(self.queue),
+                    )
+                else:
+                    qlen = len(self.queue)
+                    if qlen > self._q_highwater:
+                        self._q_highwater = qlen
+                        bus.emit(
+                            OB.QUEUE_HIGHWATER,
+                            self.sim.now,
+                            self.name,
+                            pkts=qlen,
+                            bytes=self.queue.bytes,
+                        )
+            return ok
+        if self.taps:
+            self._fire_taps(ENQUEUE, pkt)  # goes straight to the transmitter
         self._start_tx(pkt)
         return True
 
@@ -115,6 +179,8 @@ class Link:
     def _tx_done(self, pkt: Packet) -> None:
         self.bytes_sent += self.wire_size(pkt)
         self.pkts_sent += 1
+        if self.taps:
+            self._fire_taps(DEQUEUE, pkt)
         # Random (non-congestion) loss; any lost fragment loses the packet.
         lost = False
         if self.loss_rate > 0.0:
@@ -123,6 +189,15 @@ class Link:
             lost = self.sim.rng.random() >= survive
         if lost:
             self.pkts_lost += 1
+            if self.bus.enabled:
+                self.bus.emit(
+                    OB.LINK_DROP,
+                    self.sim.now,
+                    self.name,
+                    reason="loss",
+                    size=pkt.size,
+                    flow=pkt.flow,
+                )
         else:
             pkt.hops += 1
             self.sim.schedule(self.delay, self.dst.receive, pkt)

@@ -9,8 +9,14 @@ experiments can compute time series (Figures 7, 11, 12), averages
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
+
+#: Snap tolerance for bin-boundary arithmetic: a t0/t1 within 1e-9 s of a
+#: bin edge is treated as exactly on the edge, so float noise cannot flip
+#: the final bin in or out of an average.
+_EDGE_EPS = 1e-9
 
 from repro.sim.engine import Simulator
 
@@ -41,15 +47,25 @@ class FlowMonitor:
     def throughput_bps(
         self, flow: object, t0: float = 0.0, t1: Optional[float] = None
     ) -> float:
-        """Average goodput in bits/s over [t0, t1] (bin resolution)."""
+        """Average goodput in bits/s over [t0, t1) at bin resolution.
+
+        Boundary rule (explicit, float-rounding-proof): a bin is counted
+        iff it *overlaps* the half-open interval [t0, t1) — partial bins
+        at both ends are included in full.  Edges within 1e-9 s of a bin
+        boundary are snapped to it, so ``t1`` landing exactly on a
+        boundary excludes the bin starting there regardless of whether
+        the division rounds to ``9.999...`` or ``10.000...1``.
+        """
         if t1 is None:
             t1 = self.sim.now
         if t1 <= t0:
             return 0.0
-        b0, b1 = int(t0 / self.bin_width), int(t1 / self.bin_width)
-        total = sum(
-            n for b, n in self._bins.get(flow, {}).items() if b0 <= b < max(b1, b0 + 1)
-        )
+        w = self.bin_width
+        b0 = int(math.floor(t0 / w + _EDGE_EPS))  # first bin overlapping t0
+        b1 = int(math.ceil(t1 / w - _EDGE_EPS))  # exclusive: bins end before t1
+        if b1 <= b0:
+            b1 = b0 + 1
+        total = sum(n for b, n in self._bins.get(flow, {}).items() if b0 <= b < b1)
         return total * 8.0 / (t1 - t0)
 
     def series(

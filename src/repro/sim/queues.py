@@ -25,6 +25,9 @@ class DropTailQueue:
         self.bytes = 0
         self.drops = 0
         self.enqueued = 0
+        # occupancy high-water marks (observability; two compares/packet)
+        self.peak_pkts = 0
+        self.peak_bytes = 0
 
     def push(self, pkt: Packet) -> bool:
         """Enqueue; returns False (and counts a drop) when full."""
@@ -37,6 +40,11 @@ class DropTailQueue:
         self._q.append(pkt)
         self.bytes += pkt.size
         self.enqueued += 1
+        n = len(self._q)
+        if n > self.peak_pkts:
+            self.peak_pkts = n
+        if self.bytes > self.peak_bytes:
+            self.peak_bytes = self.bytes
         return True
 
     def pop(self) -> Optional[Packet]:

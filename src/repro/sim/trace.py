@@ -1,10 +1,16 @@
 """NS-2-style event tracing.
 
-Attach a :class:`PacketTracer` to links to capture enqueue/dequeue/drop/
-deliver events, or a :class:`QueueSampler` to sample queue occupancy over
-time.  Used by tests to validate micro-behaviour (probe-pair spacing,
-drop clustering) and by users to debug protocol dynamics; traces write
-out in an ns-2-like ``<event> <time> <link> <size> <flow>`` text format.
+Attach a :class:`PacketTracer` to links to capture enqueue/dequeue/drop
+events, or a :class:`QueueSampler` to sample queue occupancy over time.
+Used by tests to validate micro-behaviour (probe-pair spacing, drop
+clustering) and by users to debug protocol dynamics; traces write out in
+an ns-2-like ``<event> <time> <link> <size> <flow>`` text format.
+
+Tracers ride on the links' stable tap hooks
+(:meth:`repro.sim.link.Link.add_tap`) rather than monkey-patching the
+data path, so they can be detached and re-attached freely —
+``with PacketTracer() as tr: tr.attach(link); ...`` restores the link on
+exit.
 """
 
 from __future__ import annotations
@@ -12,15 +18,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, TextIO
 
-from repro.sim.engine import Simulator
-from repro.sim.link import Link
+from repro.sim.engine import Event, Simulator
+from repro.sim.link import DEQUEUE, DROP, ENQUEUE, Link
 from repro.sim.packet import Packet
 
 #: Trace event kinds (ns-2 letters: + enqueue, - dequeue, d drop, r receive).
-ENQUEUE = "+"
-DEQUEUE = "-"
-DROP = "d"
+#: ENQUEUE/DEQUEUE/DROP are shared with :mod:`repro.sim.link`'s tap API.
 RECEIVE = "r"
+
+__all__ = [
+    "ENQUEUE",
+    "DEQUEUE",
+    "DROP",
+    "RECEIVE",
+    "TraceEvent",
+    "PacketTracer",
+    "QueueSampler",
+]
 
 
 @dataclass
@@ -40,46 +54,47 @@ class TraceEvent:
 
 
 class PacketTracer:
-    """Wraps a link's data path to record every packet event."""
+    """Records every packet event on the links it is attached to.
+
+    Usable as a context manager: on exit every link is detached (its
+    data path returns to the untraced fast path).
+    """
 
     def __init__(self, limit: int = 1_000_000):
         self.events: List[TraceEvent] = []
         self.limit = limit
         self._links: List[Link] = []
 
+    # -- attachment --------------------------------------------------------
     def attach(self, link: Link) -> None:
         """Instrument one link (idempotent per link)."""
         if any(l is link for l in self._links):
             return
         self._links.append(link)
-        sim = link.sim
-        orig_send = link.send
-        orig_tx_done = link._tx_done
-        orig_push = link.queue.push
+        link.add_tap(self._on_tap)
 
-        def record(kind: str, pkt: Packet) -> None:
-            if len(self.events) < self.limit:
-                self.events.append(
-                    TraceEvent(kind, sim.now, link.name, pkt.size, pkt.flow, pkt.uid)
-                )
+    def detach(self, link: Optional[Link] = None) -> None:
+        """Restore one link (or, with no argument, all attached links)."""
+        targets = [link] if link is not None else list(self._links)
+        for l in targets:
+            l.remove_tap(self._on_tap)
+            self._links = [x for x in self._links if x is not l]
 
-        def traced_push(pkt: Packet) -> bool:
-            ok = orig_push(pkt)
-            record(ENQUEUE if ok else DROP, pkt)
-            return ok
+    def __enter__(self) -> "PacketTracer":
+        return self
 
-        def traced_send(pkt: Packet) -> bool:
-            if not link._busy:
-                record(ENQUEUE, pkt)  # goes straight to the transmitter
-            return orig_send(pkt)
+    def __exit__(self, *exc) -> None:
+        self.detach()
 
-        def traced_tx_done(pkt: Packet) -> None:
-            record(DEQUEUE, pkt)
-            orig_tx_done(pkt)
+    @property
+    def attached_links(self) -> List[Link]:
+        return list(self._links)
 
-        link.queue.push = traced_push
-        link.send = traced_send
-        link._tx_done = traced_tx_done
+    def _on_tap(self, kind: str, time: float, link: Link, pkt: Packet) -> None:
+        if len(self.events) < self.limit:
+            self.events.append(
+                TraceEvent(kind, time, link.name, pkt.size, pkt.flow, pkt.uid)
+            )
 
     # -- queries -----------------------------------------------------------
     def drops(self) -> List[TraceEvent]:
@@ -111,11 +126,18 @@ class QueueSampler:
         self.link = link
         self.interval = interval
         self.samples: List[tuple] = []  # (time, packets, bytes)
+        self._event: Optional[Event] = None
         self._tick()
 
     def _tick(self) -> None:
         self.samples.append((self.sim.now, len(self.link.queue), self.link.queue.bytes))
-        self.sim.schedule(self.interval, self._tick)
+        self._event = self.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Cancel the sampling tick (samples taken so far are kept)."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
 
     def max_occupancy(self) -> int:
         return max((p for _, p, _ in self.samples), default=0)

@@ -32,6 +32,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Protocol, Tuple
 
+from repro.obs import bus as OB
 from repro.udt.params import UdtConfig
 from repro.udt.seqno import seq_cmp
 
@@ -97,10 +98,19 @@ class CongestionControl:
         #: slow-start exit threshold; the core lowers it to the peer's
         #: advertised flow window after the handshake.
         self.max_cwnd: float = float(config.max_flow_window)
+        #: telemetry (set by the owning core; None when run standalone).
+        self.bus: Optional[OB.EventBus] = None
+        self.src: str = "cc"
 
     # -- lifecycle -------------------------------------------------------
     def init(self, ctx: CcContext) -> None:
         self.ctx = ctx
+
+    def _emit(self, kind: str, **fields: object) -> None:
+        """Emit a telemetry event if a live bus is attached (rare path)."""
+        bus = self.bus
+        if bus is not None and bus.enabled and self.ctx is not None:
+            bus.emit(kind, self.ctx.now(), self.src, **fields)
 
     # -- event hooks -------------------------------------------------------
     def on_ack(self, ack_seq: int) -> None:
@@ -213,6 +223,7 @@ class UdtNativeCC(CongestionControl):
             self.period = 1.0 / recv_rate
         else:
             self.period = (ctx.rtt + self.config.syn) / max(self.window, 1.0)
+        self._emit(OB.CC_SLOWSTART_EXIT, period=self.period, window=self.window)
 
     # -- decrease -----------------------------------------------------------
     def on_loss(self, loss: LossEvent) -> None:
@@ -230,6 +241,7 @@ class UdtNativeCC(CongestionControl):
             if self.config.freeze_on_new_loss:
                 self.freeze_requested = True
                 self.freezes += 1
+            self._emit(OB.CC_DECREASE, trigger="loss", period=self.period)
         # NAKs for pre-decrease packets carry no new congestion signal.
 
     def on_timeout(self) -> None:
@@ -242,6 +254,7 @@ class UdtNativeCC(CongestionControl):
         if self.ctx is not None:
             self.last_dec_seq = self.ctx.max_seq_sent
         self.decreases += 1
+        self._emit(OB.CC_DECREASE, trigger="timeout", period=self.period)
 
 
 class FixedAimdCC(UdtNativeCC):

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs import bus as OB
 from repro.tcp.responses import Response
 from repro.udt.cc import CongestionControl, LossEvent
 from repro.udt.params import UdtConfig
@@ -77,11 +78,13 @@ class TcpOverUdtCC(CongestionControl):
         else:
             self.ssthresh = max(self.window * self.response.backoff(self.window), 2.0)
         self.window = self.ssthresh
+        self._emit(OB.CC_DECREASE, trigger="loss", window=self.window)
 
     def on_timeout(self) -> None:
         self.response.on_timeout()
         self.ssthresh = max(self.window / 2.0, 2.0)
         self.window = 2.0
+        self._emit(OB.CC_DECREASE, trigger="timeout", window=self.window)
 
 
 class _SenderShim:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Protocol, Tuple
 
+from repro.obs import bus as OB
 from repro.udt import packets as P
 from repro.udt.buffers import ReceiveBuffer, SendBuffer
 from repro.udt.cc import CongestionControl, LossEvent, UdtNativeCC
@@ -80,16 +81,22 @@ class UdtCore:
         init_seq: int = 0,
         name: str = "udt",
         meter: Optional[Any] = None,
+        bus: Optional[OB.EventBus] = None,
     ):
         self.config = config
         self.sched = scheduler
         self._transmit = transmit
         self.name = name
         self.meter = meter  # hostmodel CPU meter; charged when present
+        #: telemetry bus; the process default when not given.  Emit sites
+        #: are guarded by ``bus.enabled`` so an idle bus costs one branch.
+        self.bus = bus if bus is not None else OB.default_bus()
         self.stats = UdtStats()
 
         self.cc = cc if cc is not None else UdtNativeCC(config)
         self.cc.init(_CcView(self))
+        self.cc.bus = self.bus
+        self.cc.src = self.name
 
         # --- connection state ------------------------------------------
         self.connected = False
@@ -191,6 +198,15 @@ class UdtCore:
             self.sched.cancel(self._hs_timer)
             self._hs_timer = None
         now = self.sched.now()
+        if self.bus.enabled:
+            self.bus.emit(
+                OB.CONN_CONNECTED,
+                now,
+                self.name,
+                peer_seq=hs.init_seq,
+                flow_window=hs.flow_window,
+                initiator=self._is_initiator,
+            )
         self._syn_timer = self.sched.call_at(now + self.config.syn, self._on_syn_timer)
         self._arm_exp_timer()
         self._ensure_send_scheduled()
@@ -200,6 +216,14 @@ class UdtCore:
             return
         if self.connected:
             self._xmit(P.Shutdown(ts=self._ts()))
+        if self.bus.enabled:
+            self.bus.emit(
+                OB.CONN_CLOSED,
+                self.sched.now(),
+                self.name,
+                data_pkts_sent=self.stats.data_pkts_sent,
+                data_pkts_received=self.stats.data_pkts_received,
+            )
         self.closed = True
         self.connected = False
         for h in (self._send_event, self._syn_timer, self._exp_timer, self._hs_timer):
@@ -400,6 +424,11 @@ class UdtCore:
             self._xmit(P.Ack2(ts=self._ts(), ack_no=ack.ack_no))
             self.stats.ack2_sent += 1
         self.cc.on_ack(seq)
+        if self.bus.enabled:
+            self.bus.emit(
+                OB.SND_ACK, self.sched.now(), self.name, seq=seq, light=ack.light
+            )
+            self._emit_cc_sample("ack")
         self._ensure_send_scheduled()
 
     def _on_nak(self, nak: P.Nak) -> None:
@@ -425,11 +454,49 @@ class UdtCore:
             return
         self.stats.loss_reported += lost
         self.cc.on_loss(LossEvent(ranges=ranges, biggest_seq=biggest, lost_packets=lost))
+        froze = False
         if self.cc.freeze_requested:
             self.cc.freeze_requested = False
             self._freeze_until = self.sched.now() + self.config.syn
             self.stats.freezes += 1
+            froze = True
+        if self.bus.enabled:
+            self.bus.emit(
+                OB.SND_NAK,
+                self.sched.now(),
+                self.name,
+                lost=lost,
+                ranges=len(ranges),
+                froze=froze,
+            )
+            self._emit_cc_sample("nak")
         self._ensure_send_scheduled()
+
+    def _emit_cc_sample(self, trigger: str) -> None:
+        """One timeline sample: the full CC state after an update.
+
+        Emitted after every congestion-control update (ACK/NAK), this is
+        the series the paper's Figure 4/6/7 plots are drawn from.
+        Callers check ``bus.enabled`` first.
+        """
+        cc = self.cc
+        period = cc.period
+        self.bus.emit(
+            OB.CC_SAMPLE,
+            self.sched.now(),
+            self.name,
+            trigger=trigger,
+            rate_bps=self.config.mss * 8.0 / period if period > 0 else 0.0,
+            period=period,
+            cwnd=cc.window,
+            flow_window=self.flow_window,
+            rtt=self.rtt,
+            bw_est=self.bandwidth,
+            recv_rate=self.recv_rate,
+            loss_len=len(self.snd_loss),
+            exp_count=self._exp_count,
+            slow_start=getattr(cc, "slow_start", False),
+        )
 
     # ------------------------------------------------------------------
     # receiver half
@@ -466,6 +533,10 @@ class UdtCore:
             self.loss_events.append(off - 1)
             if self.meter is not None:
                 self.meter.on_loss_processing()
+            if self.bus.enabled:
+                self.bus.emit(
+                    OB.RCV_LOSS, now, self.name, first=first, last=last, length=off - 1
+                )
             self._send_nak([(first, last)])
             self.lrsn = pkt.seq
         elif off == 1:
@@ -594,6 +665,14 @@ class UdtCore:
         unacked = seq_off(self.snd_last_ack, self.curr_seq)
         if unacked > 0:
             self.stats.exp_events += 1
+            if self.bus.enabled:
+                self.bus.emit(
+                    OB.EXP_TIMEOUT,
+                    now,
+                    self.name,
+                    exp_count=self._exp_count,
+                    unacked=unacked,
+                )
             # No feedback for a full timeout: treat everything unacked as
             # lost (it will be resent from the loss list) and notify CC.
             if len(self.snd_loss) == 0:

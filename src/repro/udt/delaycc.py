@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.obs import bus as OB
 from repro.udt.cc import UdtNativeCC
 from repro.udt.params import UdtConfig
 
@@ -99,6 +100,7 @@ class DelayWarningCC(UdtNativeCC):
         if self.ctx is not None:
             self.last_dec_seq = self.ctx.max_seq_sent
         self.delay_decreases += 1
+        self._emit(OB.CC_DELAY_WARNING, period=self.period)
 
 
 def attach_delay_detection(flow, window: int = 16) -> DelayTrendDetector:

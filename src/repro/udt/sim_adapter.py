@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro.obs import bus as OB
 from repro.sim.engine import Event, Simulator
 from repro.sim.node import Host
 from repro.sim.topology import Network
@@ -67,8 +68,10 @@ class UdtFlow:
         meter_snd: Optional[Any] = None,
         meter_rcv: Optional[Any] = None,
         app_driven: bool = False,
+        bus: Optional[OB.EventBus] = None,
     ):
         self.net = net
+        self.bus = bus if bus is not None else OB.default_bus()
         self.config = config if config is not None else UdtConfig()
         if flow_id is None:
             flow_id = f"udt{UdtFlow._flow_counter}"
@@ -98,6 +101,7 @@ class UdtFlow:
             cc=cc_factory(self.config),
             name=f"{flow_id}-snd",
             meter=meter_snd,
+            bus=self.bus,
         )
         self.receiver = UdtCore(
             self.config,
@@ -106,6 +110,7 @@ class UdtFlow:
             deliver=self._on_deliver,
             name=f"{flow_id}-rcv",
             meter=meter_rcv,
+            bus=self.bus,
         )
         self._src_ep.on_receive(lambda msg, addr, size: self.sender.on_datagram(msg, size))
         self._dst_ep.on_receive(lambda msg, addr, size: self.receiver.on_datagram(msg, size))
@@ -145,6 +150,14 @@ class UdtFlow:
         ):
             self.done = True
             self.finish_time = self.net.sim.now
+            if self.bus.enabled:
+                self.bus.emit(
+                    OB.FLOW_DONE,
+                    self.finish_time,
+                    str(self.flow_id),
+                    bytes=self.receiver.delivered_bytes,
+                    elapsed=self.finish_time - self.start_time,
+                )
 
     # -- experiment helpers ------------------------------------------------
     def throughput_bps(self, t0: float = 0.0, t1: Optional[float] = None) -> float:
@@ -178,6 +191,7 @@ def start_udt_flow(
     config: Optional[UdtConfig] = None,
     cc_factory: Callable[[UdtConfig], CongestionControl] = UdtNativeCC,
     flow_id: Optional[object] = None,
+    bus: Optional[OB.EventBus] = None,
 ) -> UdtFlow:
     """Convenience wrapper used throughout the experiments."""
     return UdtFlow(
@@ -189,4 +203,5 @@ def start_udt_flow(
         nbytes=nbytes,
         start=start,
         flow_id=flow_id,
+        bus=bus,
     )

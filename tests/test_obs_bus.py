@@ -1,0 +1,222 @@
+"""Event bus, metrics registry, and JSONL export unit tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    CC_SAMPLE,
+    LINK_DROP,
+    Event,
+    EventBus,
+    JsonlWriter,
+    MetricsRegistry,
+    TraceSummary,
+    default_bus,
+    read_events,
+    trace_to_file,
+)
+
+
+class TestEventBus:
+    def test_subscribe_enables_unsubscribe_disables(self):
+        bus = EventBus()
+        assert not bus.enabled
+        got = []
+        sub = bus.subscribe(got.append)
+        assert bus.enabled
+        bus.emit("x.kind", 1.0, "src", a=1)
+        assert len(got) == 1
+        bus.unsubscribe(sub)
+        assert not bus.enabled
+        bus.emit("x.kind", 2.0, "src")
+        assert len(got) == 1
+
+    def test_unsubscribe_is_idempotent(self):
+        bus = EventBus()
+        sub = bus.subscribe(lambda e: None)
+        bus.unsubscribe(sub)
+        bus.unsubscribe(sub)  # no error
+        assert bus.subscriber_count == 0
+
+    def test_multiple_subscribers_fan_out(self):
+        bus = EventBus()
+        a, b = [], []
+        bus.subscribe(a.append)
+        bus.subscribe(b.append)
+        bus.emit("k", 0.0, "s")
+        assert len(a) == len(b) == 1
+
+    def test_kind_filtering(self):
+        bus = EventBus()
+        only_cc, everything = [], []
+        bus.subscribe(only_cc.append, kinds=(CC_SAMPLE,))
+        bus.subscribe(everything.append)
+        bus.emit(CC_SAMPLE, 0.0, "s", rate_bps=1.0)
+        bus.emit(LINK_DROP, 0.1, "l", reason="queue")
+        assert [e.kind for e in only_cc] == [CC_SAMPLE]
+        assert [e.kind for e in everything] == [CC_SAMPLE, LINK_DROP]
+
+    def test_disabled_emit_is_noop(self):
+        bus = EventBus()
+        assert bus.emit("k", 0.0, "s", a=1) is None
+
+    def test_event_to_dict_is_flat(self):
+        ev = Event(1.5, "cc.sample", "udt0-snd", {"rate_bps": 2.0})
+        assert ev.to_dict() == {
+            "t": 1.5,
+            "kind": "cc.sample",
+            "src": "udt0-snd",
+            "rate_bps": 2.0,
+        }
+
+    def test_default_bus_is_shared_and_initially_disabled(self):
+        assert default_bus() is default_bus()
+        assert not default_bus().enabled  # no leftover subscribers in tests
+
+    def test_disabled_bus_overhead_path(self):
+        """The emit-site pattern: a disabled bus means no Event is built.
+
+        This is the contract hot paths rely on — subscribe, count, then
+        unsubscribe and verify emission stops dead at the guard.
+        """
+        bus = EventBus()
+        calls = []
+        # instrumented component pattern
+        def hot_path():
+            if bus.enabled:
+                bus.emit("hot.event", 0.0, "c", expensive=calls.append(1))
+
+        hot_path()
+        assert calls == []  # guard short-circuits: fields never evaluated
+        sub = bus.subscribe(lambda e: None)
+        hot_path()
+        assert calls == [1]
+        bus.unsubscribe(sub)
+        hot_path()
+        assert calls == [1]
+
+
+class TestJsonlExport:
+    def test_writer_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        bus = EventBus()
+        with trace_to_file(path, bus=bus, generator="test") as w:
+            bus.emit(CC_SAMPLE, 0.5, "udt0-snd", rate_bps=1e6, cwnd=16.0)
+            bus.emit(LINK_DROP, 0.7, "1->2", reason="queue", size=1500)
+        assert w.events_written == 2
+        assert not bus.enabled  # writer unsubscribed on exit
+        lines = [json.loads(l) for l in open(path)]
+        assert lines[0]["kind"] == "trace.meta"
+        assert lines[0]["schema"] == 1
+        assert lines[0]["generator"] == "test"
+        assert lines[1] == {
+            "t": 0.5,
+            "kind": CC_SAMPLE,
+            "src": "udt0-snd",
+            "rate_bps": 1e6,
+            "cwnd": 16.0,
+        }
+        evs = list(read_events(path))
+        assert len(evs) == 2  # meta skipped
+        assert list(read_events(path, kinds=(LINK_DROP,)))[0]["size"] == 1500
+        assert list(read_events(path, include_meta=True))[0]["kind"] == "trace.meta"
+
+    def test_writer_serialises_non_json_fields_as_str(self):
+        buf = io.StringIO()
+        w = JsonlWriter(buf)
+        w.on_event(Event(0.0, "flow.done", "f", {"flow": ("udt0", "arr")}))
+        rec = json.loads(buf.getvalue())
+        assert isinstance(rec["flow"], (str, list))
+
+    def test_kind_filtered_writer(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        bus = EventBus()
+        with trace_to_file(path, bus=bus, kinds=(CC_SAMPLE,)):
+            bus.emit(CC_SAMPLE, 0.0, "s")
+            bus.emit(LINK_DROP, 0.1, "l")
+        assert [e["kind"] for e in read_events(path)] == [CC_SAMPLE]
+
+    def test_double_attach_raises(self):
+        w = JsonlWriter(io.StringIO())
+        bus = EventBus()
+        w.attach(bus)
+        with pytest.raises(RuntimeError):
+            w.attach(bus)
+        w.detach()
+        assert not bus.enabled
+
+
+class TestTraceSummary:
+    def test_counts_and_last_cc(self):
+        s = TraceSummary()
+        s.on_event(Event(0.1, CC_SAMPLE, "udt0-snd", {"rate_bps": 1e6, "cwnd": 8.0}))
+        s.on_event(Event(0.2, CC_SAMPLE, "udt0-snd", {"rate_bps": 2e6, "cwnd": 9.0}))
+        s.on_event(Event(0.15, LINK_DROP, "1->2", {"reason": "queue"}))
+        assert s.total_events == 3
+        assert s.counts[CC_SAMPLE] == 2
+        assert s.last_cc["udt0-snd"]["rate_bps"] == 2e6
+        assert s.t_min == 0.1 and s.t_max == 0.2
+        text = s.to_text()
+        assert "cc.sample" in text and "2.00 Mb/s" in text
+
+
+class TestMetricsRegistry:
+    def test_counter_get_or_create_and_labels(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("pkts", flow="a")
+        c2 = reg.counter("pkts", flow="a")
+        c3 = reg.counter("pkts", flow="b")
+        assert c1 is c2 and c1 is not c3
+        c1.inc(5)
+        assert reg.counter("pkts", flow="a").value == 5
+        with pytest.raises(ValueError):
+            c1.inc(-1)
+
+    def test_gauge_and_histogram(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", link="l").set(42.0)
+        h = reg.histogram("rtt", flow="f")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(2.5)
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 4.0
+        rows = reg.collect()
+        assert {r["type"] for r in rows} == {"gauge", "histogram"}
+
+    def test_absorb_udt_stats(self):
+        from repro.sim.topology import path_topology
+        from repro.udt import start_udt_flow
+
+        top = path_topology(50e6, 0.02)
+        f = start_udt_flow(top.net, top.src, top.dst, flow_id="udt0")
+        top.net.run(until=2.0)
+        reg = MetricsRegistry()
+        reg.absorb_udt_stats(f.sender, flow="udt0")
+        reg.absorb_udt_stats(f.receiver, flow="udt0")
+        sent = reg.counter(
+            "udt.data_pkts_sent", flow="udt0", endpoint="udt0-snd"
+        ).value
+        assert sent == f.sender.stats.data_pkts_sent > 0
+        acks = reg.counter("udt.acks_sent", flow="udt0", endpoint="udt0-rcv").value
+        assert acks > 0
+        text = reg.to_text()
+        assert "udt.data_pkts_sent" in text and "endpoint=udt0-snd" in text
+
+    def test_absorb_link_includes_peaks(self):
+        from repro.sim.topology import path_topology
+        from repro.udt import start_udt_flow
+
+        top = path_topology(10e6, 0.02)
+        start_udt_flow(top.net, top.src, top.dst)
+        top.net.run(until=2.0)
+        reg = MetricsRegistry()
+        reg.absorb_link(top.bottleneck)
+        rows = {r["name"]: r for r in reg.collect()}
+        assert rows["link.pkts_sent"]["value"] > 0
+        assert rows["queue.peak_pkts"]["value"] >= 1
+        assert rows["queue.peak_pkts"]["value"] == top.bottleneck.queue.peak_pkts

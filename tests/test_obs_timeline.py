@@ -1,0 +1,227 @@
+"""Timeline recorder + instrumented-stack integration tests."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CC_SAMPLE,
+    EXP_TIMEOUT,
+    LINK_DROP,
+    QUEUE_HIGHWATER,
+    RCV_LOSS,
+    SND_NAK,
+    EventBus,
+    TimelineRecorder,
+    default_bus,
+    trace_to_file,
+)
+from repro.sim.topology import dumbbell, path_topology
+from repro.udt import start_udt_flow
+
+
+def _traced_lossy_run(recorder=None, trace_path=None):
+    """One UDT flow over a lossy 100 Mb/s path, fully instrumented."""
+    ctxs = []
+    if recorder is not None:
+        recorder.attach()
+    try:
+        if trace_path is not None:
+            ctx = trace_to_file(trace_path, generator="test")
+            ctx.__enter__()
+            ctxs.append(ctx)
+        top = path_topology(100e6, 0.02, loss_rate=0.001)
+        flow = start_udt_flow(top.net, top.src, top.dst)
+        top.net.run(until=5.0)
+        return flow
+    finally:
+        for ctx in ctxs:
+            ctx.__exit__(None, None, None)
+        if recorder is not None:
+            recorder.detach()
+
+
+class TestTimelineRecorder:
+    def test_live_capture_has_cc_trajectory(self):
+        rec = TimelineRecorder()
+        flow = _traced_lossy_run(recorder=rec)
+        snd, rcv = flow.sender.name, flow.receiver.name
+        assert not default_bus().enabled  # detached cleanly
+        assert snd in rec.connections()
+        series = rec.series(snd)
+        assert len(series) > 100  # ~1 sample per SYN over 5 s
+        # fields are populated and dynamic
+        rates = rec.rates(snd)
+        assert rates[0][1] != rates[-1][1]
+        assert any(s.rtt > 0 for s in series)
+        assert any(s.bw_est > 0 for s in series)
+        assert any(s.cwnd > 0 for s in series)
+        # loss happened on a 0.1% lossy link -> NAK marks recorded
+        assert rec.loss_times(snd) or rec.loss_times(rcv)
+        assert rec.mean_rate_bps(snd) > 0
+
+    def test_windows_series(self):
+        rec = TimelineRecorder()
+        flow = _traced_lossy_run(recorder=rec)
+        w = rec.windows(flow.sender.name)
+        assert w and all(len(row) == 3 for row in w)
+
+    def test_jsonl_rebuild_matches_live(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        live = TimelineRecorder()
+        flow = _traced_lossy_run(recorder=live, trace_path=path)
+        rebuilt = TimelineRecorder.from_jsonl(path)
+        assert rebuilt.connections() == live.connections()
+        assert rebuilt.series(flow.sender.name) == live.series(flow.sender.name)
+        assert rebuilt.marks == live.marks
+
+    def test_context_manager_and_double_attach(self):
+        rec = TimelineRecorder()
+        with rec:
+            assert default_bus().enabled
+            with pytest.raises(RuntimeError):
+                rec.attach()
+        assert not default_bus().enabled
+
+    def test_max_samples_cap(self):
+        rec = TimelineRecorder(max_samples_per_conn=10)
+        flow = _traced_lossy_run(recorder=rec)
+        assert len(rec.series(flow.sender.name)) == 10
+
+
+class TestInstrumentedStack:
+    def test_congested_run_emits_drop_and_highwater(self):
+        """Two flows into one 10 Mb/s bottleneck must overflow the queue:
+        the trace shows queue drops, receiver holes and sender NAKs."""
+        bus = default_bus()
+        events = []
+        sub = bus.subscribe(events.append)
+        try:
+            d = dumbbell(2, 10e6, 0.02, seed=1)
+            for i in range(2):
+                start_udt_flow(d.net, d.sources[i], d.sinks[i], flow_id=f"f{i}")
+            d.net.run(until=8.0)
+        finally:
+            bus.unsubscribe(sub)
+        kinds = {e.kind for e in events}
+        assert QUEUE_HIGHWATER in kinds
+        assert LINK_DROP in kinds
+        assert RCV_LOSS in kinds
+        assert SND_NAK in kinds
+        assert CC_SAMPLE in kinds
+        drop = next(e for e in events if e.kind == LINK_DROP)
+        assert drop.fields["reason"] in ("queue", "loss")
+        # high-water marks are monotone per link
+        for link in {e.src for e in events if e.kind == QUEUE_HIGHWATER}:
+            marks = [
+                e.fields["pkts"] for e in events
+                if e.kind == QUEUE_HIGHWATER and e.src == link
+            ]
+            assert marks == sorted(marks)
+
+    def test_exp_timeout_event_on_dead_peer(self):
+        """Kill the return path mid-flow: the sender's EXP timer events
+        appear on the bus with escalating counts."""
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append, kinds=(EXP_TIMEOUT,))
+        top = path_topology(50e6, 0.02)
+        flow = start_udt_flow(top.net, top.src, top.dst, bus=bus)
+        top.net.run(until=2.0)
+        # Silent death: no Shutdown packet reaches the sender (close()
+        # would announce itself), so its EXP timer must escalate.
+        flow.receiver.closed = True
+        flow.receiver.connected = False
+        top.net.run(until=12.0)
+        assert events, "no EXP events recorded"
+        counts = [e.fields["exp_count"] for e in events]
+        assert counts == sorted(counts)
+        assert all(e.fields["unacked"] > 0 for e in events)
+
+    def test_private_bus_does_not_leak_to_default(self):
+        bus = EventBus()
+        mine, everyone = [], []
+        bus.subscribe(mine.append)
+        sub = default_bus().subscribe(everyone.append)
+        try:
+            top = path_topology(50e6, 0.02)
+            start_udt_flow(top.net, top.src, top.dst, bus=bus)
+            top.net.run(until=1.0)
+        finally:
+            default_bus().unsubscribe(sub)
+        assert any(e.kind == CC_SAMPLE for e in mine)
+        # links still use the default bus, but core events stayed private
+        assert not any(e.kind == CC_SAMPLE for e in everyone)
+
+    def test_cpu_meter_emits_aggregated_charges(self):
+        from repro.hostmodel.cpu import UDT_SENDER_COSTS, CpuMeter
+        from repro.obs import CPU_CHARGE
+
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append, kinds=(CPU_CHARGE,))
+        clock = [0.0]
+        meter = CpuMeter(
+            UDT_SENDER_COSTS, lambda: clock[0], bus=bus, name="m", emit_every=10
+        )
+        for i in range(35):
+            clock[0] += 0.001
+            meter.on_data_sent(1500)
+        assert len(events) == 3  # 35 // 10
+        assert events[-1].fields["total_cycles"] == pytest.approx(
+            meter.total_cycles, rel=0.2
+        )
+        assert events[0].fields["util"] > 0
+
+
+class TestCcEvents:
+    def test_slow_start_exit_and_decrease_events(self):
+        from repro.obs import CC_DECREASE, CC_SLOWSTART_EXIT
+
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append, kinds=(CC_SLOWSTART_EXIT, CC_DECREASE))
+        top = path_topology(10e6, 0.02)  # tight link -> guaranteed loss
+        start_udt_flow(top.net, top.src, top.dst, bus=bus)
+        top.net.run(until=10.0)
+        kinds = [e.kind for e in events]
+        assert CC_SLOWSTART_EXIT in kinds
+        assert CC_DECREASE in kinds
+        dec = next(e for e in events if e.kind == CC_DECREASE)
+        assert dec.fields["trigger"] in ("loss", "timeout")
+        assert dec.src.endswith("-snd")
+
+    def test_delay_warning_event(self):
+        from repro.obs import CC_DELAY_WARNING
+        from repro.udt.delaycc import DelayWarningCC
+        from repro.udt.params import UdtConfig
+
+        bus = EventBus()
+        events = []
+        bus.subscribe(events.append, kinds=(CC_DELAY_WARNING,))
+        cc = DelayWarningCC(UdtConfig())
+
+        class Ctx:
+            def now(self):
+                return 1.0
+
+            rtt = 0.01
+            recv_rate = 100.0
+            bandwidth = 0.0
+            max_seq_sent = 5
+            achieved_period = 0.0
+
+        cc.init(Ctx())
+        cc.bus = bus
+        cc.src = "dcc"
+        cc.on_delay_warning()
+        assert len(events) == 1
+        assert events[0].fields["period"] == cc.period
+
+    def test_cc_without_bus_is_safe(self):
+        from repro.udt.cc import UdtNativeCC
+        from repro.udt.params import UdtConfig
+
+        cc = UdtNativeCC(UdtConfig())
+        # no ctx, no bus: _emit must be a silent no-op
+        cc._emit(CC_SAMPLE, period=1.0)

@@ -112,3 +112,100 @@ def test_queue_sampler():
     assert 0 < sampler.mean_occupancy() < 50
     with pytest.raises(ValueError):
         QueueSampler(top.net.sim, top.bottleneck, interval=0)
+
+
+def test_detach_restores_link():
+    top = path_topology(10e6, 0.01)
+    tracer = PacketTracer()
+    tracer.attach(top.bottleneck)
+    a = UdpEndpoint(top.src, 1)
+    b = UdpEndpoint(top.dst, 2)
+    a.sendto("x", 500, b.address)
+    top.net.run(until=0.5)
+    seen = len(tracer.events)
+    assert seen > 0
+    tracer.detach(top.bottleneck)
+    assert top.bottleneck.taps == []
+    a.sendto("y", 500, b.address)
+    top.net.run(until=1.0)
+    assert len(tracer.events) == seen  # nothing recorded after detach
+    # re-attach works after a detach
+    tracer.attach(top.bottleneck)
+    a.sendto("z", 500, b.address)
+    top.net.run(until=1.5)
+    assert len(tracer.events) > seen
+
+
+def test_tracer_context_manager_detaches_all():
+    top = path_topology(10e6, 0.01)
+    a = UdpEndpoint(top.src, 1)
+    b = UdpEndpoint(top.dst, 2)
+    with PacketTracer() as tracer:
+        tracer.attach(top.bottleneck)
+        a.sendto("x", 500, b.address)
+        top.net.run(until=0.5)
+        assert tracer.attached_links == [top.bottleneck]
+    assert top.bottleneck.taps == []
+    n = len(tracer.events)
+    a.sendto("y", 500, b.address)
+    top.net.run(until=1.0)
+    assert len(tracer.events) == n
+
+
+def test_detach_all_with_multiple_links():
+    top = path_topology(10e6, 0.01)
+    links = list(top.net.links.values())
+    tracer = PacketTracer()
+    for l in links:
+        tracer.attach(l)
+    tracer.detach()
+    assert tracer.attached_links == []
+    assert all(l.taps == [] for l in links)
+
+
+class TestQueueSampler:
+    def test_tick_scheduling_count(self):
+        top = path_topology(10e6, 0.01)
+        sampler = QueueSampler(top.net.sim, top.bottleneck, interval=0.1)
+        top.net.run(until=1.05)
+        # one sample at t=0 plus one per 0.1 s tick
+        assert len(sampler.samples) == 11
+        times = [t for t, _, _ in sampler.samples]
+        assert times == pytest.approx([i * 0.1 for i in range(11)])
+
+    def test_empty_queue_statistics(self):
+        top = path_topology(10e6, 0.01)
+        sampler = QueueSampler(top.net.sim, top.bottleneck, interval=0.1)
+        top.net.run(until=1.0)
+        assert sampler.max_occupancy() == 0
+        assert sampler.mean_occupancy() == 0.0
+
+    def test_no_samples_statistics(self):
+        top = path_topology(10e6, 0.01)
+        sampler = QueueSampler(top.net.sim, top.bottleneck, interval=0.1)
+        sampler.samples.clear()
+        assert sampler.max_occupancy() == 0
+        assert sampler.mean_occupancy() == 0.0
+
+    def test_bursty_queue_seen_by_sampler(self):
+        top = path_topology(1e6, 0.01, queue_pkts=100)
+        sampler = QueueSampler(top.net.sim, top.bottleneck, interval=0.001)
+        a = UdpEndpoint(top.src, 1)
+        b = UdpEndpoint(top.dst, 2)
+        for i in range(50):  # 50 x 1000B burst into a 1 Mb/s link
+            a.sendto(i, 1000, b.address)
+        top.net.run(until=0.5)
+        assert sampler.max_occupancy() >= 40  # burst parked in the queue
+        assert 0 < sampler.mean_occupancy() < sampler.max_occupancy()
+        # drains to empty by the end
+        assert sampler.samples[-1][1] == 0
+
+    def test_stop_cancels_tick(self):
+        top = path_topology(10e6, 0.01)
+        sampler = QueueSampler(top.net.sim, top.bottleneck, interval=0.1)
+        top.net.run(until=0.35)
+        sampler.stop()
+        n = len(sampler.samples)
+        top.net.run(until=2.0)
+        assert len(sampler.samples) == n
+        sampler.stop()  # idempotent

@@ -101,3 +101,55 @@ class TestFlowMonitor:
         sim.run(until=2.0)
         m = mon.sample_matrix(["a", "b"], 1.0, 0.0, 2.0)
         assert len(m) == 2 and len(m[0]) == 2
+
+
+class TestFlowMonitorBinBoundaries:
+    """The explicit partial-bin rule: a bin counts iff it overlaps
+    [t0, t1), with 1e-9 snap to bin edges (no float-rounding flips)."""
+
+    def _mon(self):
+        sim = Simulator()
+        mon = FlowMonitor(sim, bin_width=0.1)
+        # one 1000-byte delivery in the middle of each of bins 0..9
+        for i in range(10):
+            sim.schedule(i * 0.1 + 0.05, mon.on_deliver, "f", 1000)
+        sim.run(until=1.0)
+        return mon
+
+    def test_t1_on_boundary_excludes_next_bin(self):
+        mon = self._mon()
+        # [0, 0.9): bins 0..8 only, regardless of float noise in 0.9/0.1
+        assert mon.throughput_bps("f", 0.0, 0.9) == pytest.approx(9000 * 8 / 0.9)
+
+    def test_t1_with_float_noise_is_stable(self):
+        mon = self._mon()
+        # 0.9000000000001 and 0.8999999999999 are the "same" boundary
+        hi = mon.throughput_bps("f", 0.0, 0.9 + 1e-13)
+        lo = mon.throughput_bps("f", 0.0, 0.9 - 1e-13)
+        assert hi == pytest.approx(lo, rel=1e-6)
+        # and the classic accumulated-float case: 9 * 0.1 != 0.9 exactly
+        acc = sum([0.1] * 9)
+        assert mon.throughput_bps("f", 0.0, acc) == pytest.approx(
+            9000 * 8 / acc, rel=1e-6
+        )
+
+    def test_final_partial_bin_included(self):
+        mon = self._mon()
+        # [0, 0.95): bin 9 overlaps the interval, so its bytes count
+        assert mon.throughput_bps("f", 0.0, 0.95) == pytest.approx(
+            10_000 * 8 / 0.95
+        )
+
+    def test_first_partial_bin_included(self):
+        mon = self._mon()
+        # [0.85, 1.0): bins 8 and 9 overlap
+        assert mon.throughput_bps("f", 0.85, 1.0) == pytest.approx(
+            2000 * 8 / 0.15
+        )
+
+    def test_degenerate_interval_inside_one_bin(self):
+        mon = self._mon()
+        # interval entirely inside bin 3: that bin's bytes, short window
+        assert mon.throughput_bps("f", 0.32, 0.38) == pytest.approx(
+            1000 * 8 / 0.06
+        )
