@@ -8,6 +8,13 @@
                                     # fully traced run: JSONL event trace
                                     # (CC timelines, drops, EXP events)
                                     # plus a telemetry summary
+    repro-udt run fig08 --trace t.jsonl --trace-packets
+                                    # + per-packet lifecycle events for
+                                    # span reconstruction
+    repro-udt run fig02 --profile   # hot-path profile: where the wall
+                                    # clock goes, written to
+                                    # BENCH_profile_fig02.json
+    repro-udt report t.jsonl        # loss-forensics report from a trace
 
 ``REPRO_SCALE`` (default 0.3) scales experiment durations; set it to 1
 for the paper's published durations.
@@ -16,12 +23,84 @@ for the paper's published durations.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
 
 from repro.experiments import get_experiment, list_experiments
 from repro.experiments.common import traced
+
+
+def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    kwargs = {}
+    for item in getattr(args, "overrides", []):
+        if "=" not in item:
+            parser.error(f"--set expects KEY=VALUE, got {item!r}")
+        key, _, raw = item.partition("=")
+        try:
+            import ast
+
+            kwargs[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            kwargs[key] = raw
+
+    ids = (
+        [e.exp_id for e in list_experiments()]
+        if args.exp_id == "all"
+        else [args.exp_id]
+    )
+    profiling = args.profile or args.profile_json is not None
+    with traced(
+        args.trace,
+        summary=args.summary,
+        packets=args.trace_packets,
+        generator="repro-udt",
+        experiments=ids,
+    ) as session:
+        for exp_id in ids:
+            exp = get_experiment(exp_id)
+            profiler = None
+            if profiling:
+                from repro.obs.prof import SimProfiler
+
+                profiler = SimProfiler().install()
+            t0 = time.perf_counter()
+            try:
+                result = exp.runner(**(kwargs if args.exp_id != "all" else {}))
+            finally:
+                if profiler is not None:
+                    profiler.uninstall()
+            dt = time.perf_counter() - t0
+            result.print()
+            print(f"[{exp_id} finished in {dt:.1f}s wall]\n")
+            if profiler is not None:
+                print(profiler.to_text(top_n=args.profile_top) + "\n")
+                path = args.profile_json or f"BENCH_profile_{exp_id}.json"
+                profiler.write_json(path, exp_id=exp_id, total_wall_seconds=dt)
+                print(f"[profile -> {path}]\n")
+    if args.trace:
+        print(f"[trace: {session.events_written} events -> {args.trace}]")
+    if args.summary:
+        print(session.summary_text())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_report, report_dict
+    from repro.obs.spans import build_spans
+
+    stats: dict = {}
+    spanset = build_spans(args.trace, stats=stats)
+    print(render_report(spanset))
+    if stats.get("skipped_lines"):
+        print(f"[warning: skipped {stats['skipped_lines']} malformed trace line(s)]")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report_dict(spanset), f, indent=2, default=str)
+            f.write("\n")
+        print(f"[report JSON -> {args.json}]")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -31,6 +110,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     sub = parser.add_subparsers(dest="cmd", required=True)
     sub.add_parser("list", help="list available experiments")
+
     runp = sub.add_parser("run", help="run one experiment (or 'all')")
     runp.add_argument("exp_id", help="experiment id from 'list', or 'all'")
     runp.add_argument(
@@ -50,11 +130,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         "events, link drops) of the whole run to PATH",
     )
     runp.add_argument(
+        "--trace-packets",
+        action="store_true",
+        help="include per-packet lifecycle events (pkt.snd/pkt.rcv/"
+        "link.enq/link.deq) in the trace so 'repro-udt report' can "
+        "reconstruct packet spans; much larger traces",
+    )
+    runp.add_argument(
         "--summary",
         action="store_true",
         help="print a telemetry summary (event counts, last CC state per "
         "connection) after the run",
     )
+    runp.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the simulator hot path: per-category handler time, "
+        "printed top-N plus a BENCH_profile_<exp>.json snapshot",
+    )
+    runp.add_argument(
+        "--profile-json",
+        metavar="PATH",
+        default=None,
+        help="where to write the profile snapshot (implies --profile; "
+        "default BENCH_profile_<exp>.json)",
+    )
+    runp.add_argument(
+        "--profile-top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="how many categories the printed profile shows (default 10)",
+    )
+
+    repp = sub.add_parser(
+        "report",
+        help="packet-lifecycle loss forensics from a JSONL trace "
+        "(record with: run ... --trace t.jsonl --trace-packets)",
+    )
+    repp.add_argument("trace", help="JSONL trace file from a traced run")
+    repp.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the full report as JSON to PATH",
+    )
+
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
@@ -67,39 +188,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{exp.description}"
             )
         return 0
-
-    kwargs = {}
-    for item in getattr(args, "overrides", []):
-        if "=" not in item:
-            parser.error(f"--set expects KEY=VALUE, got {item!r}")
-        key, _, raw = item.partition("=")
-        try:
-            import ast
-
-            kwargs[key] = ast.literal_eval(raw)
-        except (ValueError, SyntaxError):
-            kwargs[key] = raw
-
-    ids = (
-        [e.exp_id for e in list_experiments()]
-        if args.exp_id == "all"
-        else [args.exp_id]
-    )
-    with traced(
-        args.trace, summary=args.summary, generator="repro-udt", experiments=ids
-    ) as session:
-        for exp_id in ids:
-            exp = get_experiment(exp_id)
-            t0 = time.perf_counter()
-            result = exp.runner(**(kwargs if args.exp_id != "all" else {}))
-            dt = time.perf_counter() - t0
-            result.print()
-            print(f"[{exp_id} finished in {dt:.1f}s wall]\n")
-    if args.trace:
-        print(f"[trace: {session.events_written} events -> {args.trace}]")
-    if args.summary:
-        print(session.summary_text())
-    return 0
+    if args.cmd == "report":
+        return _cmd_report(args)
+    return _cmd_run(args, parser)
 
 
 if __name__ == "__main__":

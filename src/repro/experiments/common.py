@@ -85,7 +85,10 @@ def mbps(bps: float) -> float:
 
 @contextmanager
 def traced(
-    trace_path: Optional[str] = None, summary: bool = False, **meta: Any
+    trace_path: Optional[str] = None,
+    summary: bool = False,
+    packets: bool = False,
+    **meta: Any,
 ) -> Iterator[Any]:
     """Run any experiment fully traced.
 
@@ -98,11 +101,33 @@ def traced(
             result = get_experiment("fig04").runner()
         print(session.summary_text())
 
+    ``packets=True`` additionally records the per-packet detail tier
+    (``pkt.snd``/``pkt.rcv``/``link.enq``/``link.deq``) so the trace can
+    be span-reconstructed with ``repro-udt report`` /
+    :func:`repro.obs.spans.build_spans`.
+
     With neither output requested the block runs untraced (the bus stays
     disabled, so the instrumented paths keep their near-zero idle cost).
     Yields a :class:`~repro.obs.export.TraceSession`.
     """
     from repro.obs.export import trace_session
 
-    with trace_session(trace_path, summary=summary, **meta) as session:
+    with trace_session(trace_path, summary=summary, packets=packets, **meta) as session:
         yield session
+
+
+@contextmanager
+def profiled() -> Iterator[Any]:
+    """Profile every simulator an experiment creates inside the block.
+
+    Yields a :class:`~repro.obs.prof.SimProfiler`; after the block its
+    ``to_text()`` / ``write_json()`` carry the hot-path breakdown::
+
+        with profiled() as prof:
+            get_experiment("fig02").runner()
+        prof.write_json("BENCH_profile_fig02.json", exp_id="fig02")
+    """
+    from repro.obs.prof import profile_simulators
+
+    with profile_simulators() as prof:
+        yield prof

@@ -29,8 +29,13 @@ from repro.obs.bus import (
     CPU_CHARGE,
     EXP_TIMEOUT,
     FLOW_DONE,
+    LINK_DEQ,
     LINK_DROP,
+    LINK_ENQ,
+    PKT_RCV,
+    PKT_SND,
     QUEUE_HIGHWATER,
+    RCV_BUFFER_DROP,
     RCV_LOSS,
     SND_ACK,
     SND_NAK,
@@ -43,11 +48,15 @@ from repro.obs.export import (
     JsonlWriter,
     TraceSession,
     TraceSummary,
+    TruncatedTraceWarning,
     read_events,
     trace_session,
     trace_to_file,
 )
+from repro.obs.prof import SimProfiler, profile_simulators
 from repro.obs.registry import MetricsRegistry
+from repro.obs.report import render_report, report_dict
+from repro.obs.spans import PacketSpan, SpanBuilder, SpanSet, build_spans
 from repro.obs.timeline import CcSample, TimelineRecorder
 
 __all__ = [
@@ -65,17 +74,31 @@ __all__ = [
     "CC_DELAY_WARNING",
     "EXP_TIMEOUT",
     "RCV_LOSS",
+    "RCV_BUFFER_DROP",
     "LINK_DROP",
+    "LINK_ENQ",
+    "LINK_DEQ",
+    "PKT_SND",
+    "PKT_RCV",
     "QUEUE_HIGHWATER",
     "CPU_CHARGE",
     "FLOW_DONE",
     "JsonlWriter",
     "TraceSession",
     "TraceSummary",
+    "TruncatedTraceWarning",
     "read_events",
     "trace_session",
     "trace_to_file",
     "MetricsRegistry",
     "TimelineRecorder",
     "CcSample",
+    "SimProfiler",
+    "profile_simulators",
+    "PacketSpan",
+    "SpanBuilder",
+    "SpanSet",
+    "build_spans",
+    "render_report",
+    "report_dict",
 ]

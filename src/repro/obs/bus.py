@@ -49,6 +49,9 @@ CC_DELAY_WARNING = "cc.delay_warning"
 EXP_TIMEOUT = "exp.timeout"
 #: Receiver detected a sequence hole: first, last, length.
 RCV_LOSS = "rcv.loss"
+#: Receive buffer refused a DATA packet (drop invisible to the network —
+#: the peer sees it as loss): seq, size.
+RCV_BUFFER_DROP = "rcv.buffer_drop"
 #: A link dropped a packet: reason ("queue" | "loss"), size, flow.
 LINK_DROP = "link.drop"
 #: A link's egress queue reached a new occupancy high-water mark:
@@ -58,6 +61,22 @@ QUEUE_HIGHWATER = "queue.highwater"
 CPU_CHARGE = "cpu.charge"
 #: A finite simulated flow delivered its last byte: bytes, elapsed.
 FLOW_DONE = "flow.done"
+
+# -- packet-level detail tier ----------------------------------------------
+# One event per data packet / per link hop: orders of magnitude more
+# volume than the control-path kinds above, so emit sites guard on
+# ``bus.detail`` (set only when a subscriber passes ``detail=True``) and
+# a plain ``--trace`` stays cheap.  These are what the span reconstructor
+# (repro.obs.spans) rebuilds packet lifecycles from.
+#: Sender emitted a DATA packet (src = endpoint): seq, size, retx.
+PKT_SND = "pkt.snd"
+#: Receiver accepted a DATA packet (src = endpoint): seq, retx.
+PKT_RCV = "pkt.rcv"
+#: A link accepted a packet for transmission (src = link name):
+#: uid, flow, seq (data packets only), qlen (0 = straight to the wire).
+LINK_ENQ = "link.enq"
+#: A link finished serialising a packet (src = link name): uid, flow, seq.
+LINK_DEQ = "link.deq"
 
 
 class Event:
@@ -84,22 +103,33 @@ class Event:
 class Subscription:
     """Handle returned by :meth:`EventBus.subscribe`; pass to unsubscribe."""
 
-    __slots__ = ("fn", "kinds")
+    __slots__ = ("fn", "kinds", "detail")
 
-    def __init__(self, fn: Callable[[Event], None], kinds: Optional[frozenset]):
+    def __init__(
+        self,
+        fn: Callable[[Event], None],
+        kinds: Optional[frozenset],
+        detail: bool = False,
+    ):
         self.fn = fn
         self.kinds = kinds
+        self.detail = detail
 
 
 class EventBus:
     """Synchronous publish/subscribe fan-out with an O(1) disabled path."""
 
-    __slots__ = ("enabled", "_subs")
+    __slots__ = ("enabled", "detail", "_subs")
 
     def __init__(self) -> None:
         #: True iff at least one subscriber is attached.  Emit sites MUST
         #: check this before building event fields.
         self.enabled = False
+        #: True iff at least one subscriber asked for the packet-level
+        #: detail tier (``pkt.*`` / ``link.enq`` / ``link.deq``).  Those
+        #: emit sites guard on this instead of ``enabled`` so ordinary
+        #: traces never pay per-data-packet event construction.
+        self.detail = False
         self._subs: List[Subscription] = []
 
     # -- subscription ----------------------------------------------------
@@ -107,17 +137,25 @@ class EventBus:
         self,
         fn: Callable[[Event], None],
         kinds: Optional[Iterable[str]] = None,
+        detail: bool = False,
     ) -> Subscription:
-        """Attach ``fn``; it receives every event (or only ``kinds``)."""
-        sub = Subscription(fn, frozenset(kinds) if kinds is not None else None)
+        """Attach ``fn``; it receives every event (or only ``kinds``).
+
+        ``detail=True`` additionally wakes the packet-level emit sites;
+        without it they stay dormant even while the bus is enabled.
+        """
+        sub = Subscription(fn, frozenset(kinds) if kinds is not None else None, detail)
         self._subs.append(sub)
         self.enabled = True
+        if detail:
+            self.detail = True
         return sub
 
     def unsubscribe(self, sub: Subscription) -> None:
         """Detach a subscription (no-op if already detached)."""
         self._subs = [s for s in self._subs if s is not sub]
         self.enabled = bool(self._subs)
+        self.detail = any(s.detail for s in self._subs)
 
     @property
     def subscriber_count(self) -> int:

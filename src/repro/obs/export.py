@@ -16,6 +16,7 @@ schema field leaves room to evolve.
 from __future__ import annotations
 
 import json
+import warnings
 from contextlib import contextmanager
 from collections import Counter as _Counter, defaultdict
 from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO
@@ -48,12 +49,15 @@ class JsonlWriter:
 
     # -- wiring ----------------------------------------------------------
     def attach(
-        self, bus: Optional[EventBus] = None, kinds: Optional[Iterable[str]] = None
+        self,
+        bus: Optional[EventBus] = None,
+        kinds: Optional[Iterable[str]] = None,
+        detail: bool = False,
     ) -> "JsonlWriter":
         if self._sub is not None:
             raise RuntimeError("writer already attached")
         self._bus = bus if bus is not None else default_bus()
-        self._sub = self._bus.subscribe(self.on_event, kinds=kinds)
+        self._sub = self._bus.subscribe(self.on_event, kinds=kinds, detail=detail)
         return self
 
     def detach(self) -> None:
@@ -68,23 +72,60 @@ class JsonlWriter:
             self._out.close()
 
 
+class TruncatedTraceWarning(UserWarning):
+    """A JSONL trace contained malformed (usually crash-truncated) lines."""
+
+
 def read_events(
-    path: str, kinds: Optional[Iterable[str]] = None, include_meta: bool = False
+    path: str,
+    kinds: Optional[Iterable[str]] = None,
+    include_meta: bool = False,
+    strict: bool = False,
+    stats: Optional[Dict[str, int]] = None,
 ) -> Iterator[Dict[str, Any]]:
-    """Yield event dicts from a JSONL trace (optionally filtered by kind)."""
+    """Yield event dicts from a JSONL trace (optionally filtered by kind).
+
+    A trace from a crashed or killed run usually ends mid-line; by
+    default such malformed lines are skipped (and counted) instead of
+    raising, so forensics tooling still works on truncated traces.  One
+    :class:`TruncatedTraceWarning` summarises the skips when the reader
+    finishes.  Pass ``strict=True`` to re-raise instead, or a ``stats``
+    dict to receive the count under ``stats["skipped_lines"]``.
+    """
     kindset = frozenset(kinds) if kinds is not None else None
+    skipped = 0
     with open(path, "r") as f:
         for line in f:
             line = line.strip()
             if not line:
                 continue
-            rec = json.loads(line)
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                if strict:
+                    raise
+                skipped += 1
+                continue
+            if not isinstance(rec, dict):
+                if strict:
+                    raise ValueError(f"trace line is not an object: {line[:80]!r}")
+                skipped += 1
+                continue
             if rec.get("kind") == "trace.meta":
                 if include_meta:
                     yield rec
                 continue
             if kindset is None or rec.get("kind") in kindset:
                 yield rec
+    if stats is not None:
+        stats["skipped_lines"] = stats.get("skipped_lines", 0) + skipped
+    if skipped:
+        warnings.warn(
+            f"{path}: skipped {skipped} malformed JSONL line(s) "
+            "(crash-truncated trace?)",
+            TruncatedTraceWarning,
+            stacklevel=2,
+        )
 
 
 @contextmanager
@@ -92,12 +133,16 @@ def trace_to_file(
     path: str,
     bus: Optional[EventBus] = None,
     kinds: Optional[Iterable[str]] = None,
+    packets: bool = False,
     **meta: Any,
 ) -> Iterator[JsonlWriter]:
-    """Write every event emitted inside the block to ``path``."""
+    """Write every event emitted inside the block to ``path``.
+
+    ``packets=True`` wakes the per-packet detail tier too.
+    """
     writer = JsonlWriter(open(path, "w"), close_out=True)
-    writer.write_meta(**meta)
-    writer.attach(bus, kinds=kinds)
+    writer.write_meta(packet_detail=packets, **meta)
+    writer.attach(bus, kinds=kinds, detail=packets)
     try:
         yield writer
     finally:
@@ -175,12 +220,16 @@ def trace_session(
     summary: bool = False,
     bus: Optional[EventBus] = None,
     kinds: Optional[Iterable[str]] = None,
+    packets: bool = False,
     **meta: Any,
 ) -> Iterator[TraceSession]:
     """Subscribe a writer and/or summary to ``bus`` for the block's duration.
 
     With neither ``trace_path`` nor ``summary`` requested this is a
     no-op context (the bus stays disabled and emit sites stay dormant).
+    ``packets=True`` additionally wakes the per-packet detail tier
+    (``pkt.snd``/``pkt.rcv``/``link.enq``/``link.deq``) so the trace can
+    be span-reconstructed by ``repro-udt report``.
     """
     bus = bus if bus is not None else default_bus()
     subs: List[Subscription] = []
@@ -189,8 +238,8 @@ def trace_session(
     try:
         if trace_path:
             writer = JsonlWriter(open(trace_path, "w"), close_out=True)
-            writer.write_meta(**meta)
-            subs.append(bus.subscribe(writer.on_event, kinds=kinds))
+            writer.write_meta(packet_detail=packets, **meta)
+            subs.append(bus.subscribe(writer.on_event, kinds=kinds, detail=packets))
         if summary:
             summ = TraceSummary()
             subs.append(bus.subscribe(summ.on_event, kinds=kinds))

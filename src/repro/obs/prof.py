@@ -1,0 +1,263 @@
+"""Simulator hot-path profiler.
+
+Attributes wall-clock time and event counts to *handler categories* —
+link transmit, CC/pacing timers, ACK/NAK processing, host-model ticks —
+by timing every event the discrete-event engine dispatches.  The paper's
+figures take tens of seconds of wall time each to reproduce; this module
+answers "where do those seconds go" and snapshots the answer to
+``BENCH_profile_<fig>.json`` so perf work has a measured baseline.
+
+Design:
+
+* **Zero cost when off.**  The profiler works by swapping
+  :meth:`Simulator.run` for :meth:`Simulator.run_profiled` (an engine
+  method that shares the same loop but times each handler).  Nothing is
+  patched until :meth:`SimProfiler.install` runs, so an unprofiled run
+  executes the original, untouched inner loop.
+* **Category attribution is lazy.**  The engine accumulates per-function
+  ``[count, seconds]`` pairs keyed by the raw function object (one
+  ``getattr`` per event); mapping functions to human categories happens
+  once, at report time.
+* **Experiments construct their own simulators**, so the usual entry
+  point is the class-level patch (:meth:`install` with no argument, or
+  the :func:`profile_simulators` context manager): every ``Simulator``
+  created while installed feeds the same accumulator.
+
+Usage::
+
+    from repro.obs.prof import SimProfiler
+
+    prof = SimProfiler()
+    with prof.activate():
+        get_experiment("fig02").runner()
+    print(prof.to_text())
+    prof.write_json("BENCH_profile_fig02.json", exp_id="fig02")
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.sim.engine import Simulator
+
+#: Snapshot schema version for ``BENCH_profile_*.json``.
+PROFILE_SCHEMA = 1
+
+#: (module, qualname) -> stable category id.  Anything unlisted falls
+#: back to ``"<module tail>.<qualname>"`` so new handlers are never
+#: silently lumped together.
+CATEGORY_MAP: Dict[tuple, str] = {
+    ("repro.sim.link", "Link._tx_done"): "link.transmit",
+    ("repro.sim.node", "Node.receive"): "net.receive",
+    ("repro.udt.core", "UdtCore._on_send_timer"): "cc.send_timer",
+    ("repro.udt.core", "UdtCore._on_syn_timer"): "cc.syn_timer",
+    ("repro.udt.core", "UdtCore._on_exp_timer"): "cc.exp_timer",
+    ("repro.udt.core", "UdtCore._handshake_retry"): "udt.handshake",
+    ("repro.udt.sim_adapter", "UdtFlow._push_app_data"): "app.source",
+    ("repro.udt.sim_adapter", "UdtFlow._begin"): "app.source",
+    ("repro.apps.fileio", "DiskTransfer._pump"): "hostmodel.disk",
+    ("repro.apps.fileio", "DiskTransfer._drain"): "hostmodel.disk",
+    ("repro.apps.bulk", "UdpBlast._start_burst"): "app.udp_blast",
+    ("repro.apps.bulk", "UdpBlast._tick"): "app.udp_blast",
+    ("repro.apps.streaming_join", "StreamingSource._tick"): "app.streaming",
+    ("repro.sim.monitor", "QueueSampler._tick"): "obs.sampler",
+    ("repro.sim.trace", "QueueSampler._tick"): "obs.sampler",
+}
+
+#: What each category covers — rendered in the text report and docs.
+CATEGORY_NOTES: Dict[str, str] = {
+    "link.transmit": "link serialisation done: loss draw, propagation, next dequeue",
+    "net.receive": "packet arrival: forwarding + UDP dispatch + ACK/NAK/data processing",
+    "cc.send_timer": "rate-controlled pacing tick: loss-list service + new data",
+    "cc.syn_timer": "10ms SYN tick: ACK generation + NAK retransmission",
+    "cc.exp_timer": "EXP (no-feedback) timeout checks",
+    "udt.handshake": "handshake (re)transmission",
+    "hostmodel.disk": "disk-bound app pump/drain ticks",
+    "app.source": "application data feed",
+}
+
+
+def categorize(fn: Callable) -> str:
+    """Stable category id for a scheduled handler function."""
+    mod = getattr(fn, "__module__", "") or ""
+    qual = getattr(fn, "__qualname__", None) or getattr(fn, "__name__", "?")
+    cat = CATEGORY_MAP.get((mod, qual))
+    if cat is not None:
+        return cat
+    tail = mod.rsplit(".", 1)[-1] if mod else "?"
+    return f"{tail}.{qual}"
+
+
+class SimProfiler:
+    """Accumulates per-category event counts and handler seconds.
+
+    One profiler may span many simulators and many ``run`` segments;
+    everything lands in the same accumulator.  ``install()`` with a
+    simulator patches that instance only; with no argument it patches
+    the ``Simulator`` class so simulators constructed later (inside
+    experiment runners) are captured too.
+    """
+
+    def __init__(self) -> None:
+        self._acc: Dict[Any, List] = {}  # fn -> [count, seconds]
+        self.wall_seconds = 0.0  # total wall time inside run()
+        self.runs = 0
+        self._patched_class = False
+        self._patched_sims: List[Simulator] = []
+        self._saved_run: Optional[Callable] = None
+
+    # -- installation ----------------------------------------------------
+    def install(self, sim: Optional[Simulator] = None) -> "SimProfiler":
+        """Start profiling ``sim`` (or every future simulator)."""
+        profiler = self
+
+        if sim is not None:
+            orig_runp = sim.run_profiled
+
+            def run(until: Optional[float] = None) -> None:
+                profiler.runs += 1
+                t0 = perf_counter()
+                try:
+                    orig_runp(until, profiler._acc)
+                finally:
+                    profiler.wall_seconds += perf_counter() - t0
+
+            sim.run = run  # type: ignore[method-assign]
+            self._patched_sims.append(sim)
+            return self
+
+        if self._patched_class:
+            return self
+        if getattr(Simulator.run, "_sim_profiler_patch", False):
+            raise RuntimeError("another SimProfiler is already installed")
+        self._saved_run = Simulator.run
+
+        def class_run(self_sim: Simulator, until: Optional[float] = None) -> None:
+            profiler.runs += 1
+            t0 = perf_counter()
+            try:
+                self_sim.run_profiled(until, profiler._acc)
+            finally:
+                profiler.wall_seconds += perf_counter() - t0
+
+        class_run._sim_profiler_patch = True  # type: ignore[attr-defined]
+        Simulator.run = class_run  # type: ignore[method-assign]
+        self._patched_class = True
+        return self
+
+    def uninstall(self) -> None:
+        """Undo every patch this profiler applied (results are kept)."""
+        if self._patched_class and self._saved_run is not None:
+            Simulator.run = self._saved_run  # type: ignore[method-assign]
+            self._patched_class = False
+            self._saved_run = None
+        for sim in self._patched_sims:
+            try:
+                del sim.run
+            except AttributeError:
+                pass
+        self._patched_sims = []
+
+    @contextmanager
+    def activate(self, sim: Optional[Simulator] = None) -> Iterator["SimProfiler"]:
+        """``install`` on entry, ``uninstall`` on exit."""
+        self.install(sim)
+        try:
+            yield self
+        finally:
+            self.uninstall()
+
+    # -- results ---------------------------------------------------------
+    @property
+    def events_total(self) -> int:
+        return sum(ent[0] for ent in self._acc.values())
+
+    @property
+    def handler_seconds(self) -> float:
+        return sum(ent[1] for ent in self._acc.values())
+
+    def categories(self) -> List[Dict[str, Any]]:
+        """Merged per-category rows, hottest first.
+
+        Row keys are schema-stable: ``category``, ``events``, ``seconds``,
+        ``share`` (of total handler seconds).
+        """
+        merged: Dict[str, List] = {}
+        for fn, (count, seconds) in self._acc.items():
+            cat = categorize(fn)
+            ent = merged.get(cat)
+            if ent is None:
+                merged[cat] = [count, seconds]
+            else:
+                ent[0] += count
+                ent[1] += seconds
+        total = sum(e[1] for e in merged.values()) or 1.0
+        rows = [
+            {
+                "category": cat,
+                "events": count,
+                "seconds": seconds,
+                "share": seconds / total,
+            }
+            for cat, (count, seconds) in merged.items()
+        ]
+        rows.sort(key=lambda r: (-r["seconds"], r["category"]))
+        return rows
+
+    def top(self, n: int = 10) -> List[Dict[str, Any]]:
+        """The ``n`` hottest handler categories."""
+        return self.categories()[:n]
+
+    def to_dict(self, **meta: Any) -> Dict[str, Any]:
+        """The full machine-readable snapshot (the BENCH_profile schema)."""
+        d: Dict[str, Any] = {
+            "schema": PROFILE_SCHEMA,
+            "kind": "bench.profile",
+            "wall_seconds": self.wall_seconds,
+            "handler_seconds": self.handler_seconds,
+            "events_total": self.events_total,
+            "runs": self.runs,
+            "categories": self.categories(),
+        }
+        d.update(meta)
+        return d
+
+    def write_json(self, path: str, **meta: Any) -> Dict[str, Any]:
+        """Write the snapshot to ``path``; returns the dict written."""
+        d = self.to_dict(**meta)
+        with open(path, "w") as f:
+            json.dump(d, f, indent=2, default=str)
+            f.write("\n")
+        return d
+
+    def to_text(self, top_n: int = 10) -> str:
+        rows = self.top(top_n)
+        lines = [
+            "== simulator profile ==",
+            f"{self.events_total} events, {self.handler_seconds:.3f}s in handlers "
+            f"({self.wall_seconds:.3f}s wall, {self.runs} run segment(s))",
+            f"{'category':<24s} {'events':>10s} {'seconds':>9s} {'share':>7s}",
+        ]
+        for r in rows:
+            lines.append(
+                f"{r['category']:<24s} {r['events']:>10d} "
+                f"{r['seconds']:>9.3f} {r['share']:>6.1%}"
+            )
+            note = CATEGORY_NOTES.get(r["category"])
+            if note:
+                lines.append(f"    {note}")
+        omitted = len(self.categories()) - len(rows)
+        if omitted > 0:
+            lines.append(f"... {omitted} cooler categories omitted (top {top_n})")
+        return "\n".join(lines)
+
+
+@contextmanager
+def profile_simulators() -> Iterator[SimProfiler]:
+    """Profile every :class:`Simulator` created or run inside the block."""
+    prof = SimProfiler()
+    with prof.activate():
+        yield prof

@@ -15,7 +15,22 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Any, Callable, Optional
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
+
+
+def format_vtime(t: float) -> str:
+    """Render a virtual timestamp for human-facing output.
+
+    Sub-millisecond times keep microsecond resolution; everything else
+    prints as seconds with millisecond resolution.  Shared by the report
+    renderer and :meth:`Simulator.now_str`.
+    """
+    if t != t:  # NaN
+        return "?"
+    if abs(t) < 1.0:
+        return f"{t*1e3:.3f}ms"
+    return f"{t:.3f}s"
 
 
 class Event:
@@ -34,16 +49,23 @@ class Event:
         self.cancelled = True
         # Drop references so cancelled events pinned in the heap do not
         # keep packets/agents alive.
-        self.fn = _noop
+        self.fn = None
         self.args = ()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
-        return f"<Event t={self.time:.6f} seq={self.seq} {state}>"
-
-
-def _noop(*_args: Any) -> None:
-    return None
+        # Must never raise: cancelled events have fn/args cleared, and
+        # debuggers repr() whatever is left in the heap.
+        try:
+            t = f"{self.time:.6f}"
+        except (TypeError, ValueError):
+            t = repr(self.time)
+        if self.cancelled:
+            return f"<Event t={t} seq={self.seq} cancelled>"
+        fn = self.fn
+        name = getattr(fn, "__qualname__", None) or getattr(fn, "__name__", None)
+        if name is None:
+            name = type(fn).__name__ if fn is not None else "?"
+        return f"<Event t={t} seq={self.seq} pending {name}>"
 
 
 class Simulator:
@@ -113,9 +135,67 @@ class Simulator:
         if until is not None and self.now < until:
             self.now = until
 
+    def run_profiled(
+        self, until: Optional[float] = None, acc: Optional[Dict[Any, List]] = None
+    ) -> Dict[Any, List]:
+        """:meth:`run` with per-handler wall-clock attribution.
+
+        Semantically identical to :meth:`run`, but each event's handler
+        is timed with ``perf_counter`` and charged to ``acc``, a dict
+        mapping the handler's underlying function object to a mutable
+        ``[count, seconds]`` pair (pass the same dict across segments —
+        and across simulators — to accumulate).  :class:`Timer` ticks are
+        charged to the wrapped callback, not to ``Timer._fire``.
+
+        This is a separate method (rather than a flag on ``run``) so the
+        unprofiled loop keeps its zero-overhead inner body; the profiler
+        in :mod:`repro.obs.prof` swaps ``run`` for this one on install.
+        """
+        if acc is None:
+            acc = {}
+        heap = self._heap
+        pop = heapq.heappop
+        timer_fire = Timer._fire
+        self._running = True
+        processed = 0
+        try:
+            while heap and self._running:
+                time = heap[0][0]
+                if until is not None and time > until:
+                    break
+                ev = pop(heap)[2]
+                if ev.cancelled:
+                    continue
+                self.now = time
+                processed += 1
+                fn = ev.fn
+                t0 = perf_counter()
+                fn(*ev.args)
+                dt = perf_counter() - t0
+                key = getattr(fn, "__func__", fn)
+                if key is timer_fire:
+                    inner = fn.__self__.fn
+                    key = getattr(inner, "__func__", inner)
+                ent = acc.get(key)
+                if ent is None:
+                    acc[key] = [1, dt]
+                else:
+                    ent[0] += 1
+                    ent[1] += dt
+        finally:
+            self._running = False
+            self.events_processed += processed
+        if until is not None and self.now < until:
+            self.now = until
+        return acc
+
     def stop(self) -> None:
         """Abort :meth:`run` after the current event finishes."""
         self._running = False
+
+    def now_str(self) -> str:
+        """Current virtual time, formatted for humans (see format_vtime)."""
+        return format_vtime(self.now)
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""

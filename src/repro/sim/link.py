@@ -151,6 +151,8 @@ class Link:
                         size=pkt.size,
                         flow=pkt.flow,
                         qlen=len(self.queue),
+                        uid=pkt.uid,
+                        seq=getattr(pkt.payload, "seq", None),
                     )
                 else:
                     qlen = len(self.queue)
@@ -163,9 +165,29 @@ class Link:
                             pkts=qlen,
                             bytes=self.queue.bytes,
                         )
+                    if bus.detail:
+                        bus.emit(
+                            OB.LINK_ENQ,
+                            self.sim.now,
+                            self.name,
+                            uid=pkt.uid,
+                            flow=pkt.flow,
+                            seq=getattr(pkt.payload, "seq", None),
+                            qlen=qlen,
+                        )
             return ok
         if self.taps:
             self._fire_taps(ENQUEUE, pkt)  # goes straight to the transmitter
+        if self.bus.detail:
+            self.bus.emit(
+                OB.LINK_ENQ,
+                self.sim.now,
+                self.name,
+                uid=pkt.uid,
+                flow=pkt.flow,
+                seq=getattr(pkt.payload, "seq", None),
+                qlen=0,
+            )
         self._start_tx(pkt)
         return True
 
@@ -181,6 +203,15 @@ class Link:
         self.pkts_sent += 1
         if self.taps:
             self._fire_taps(DEQUEUE, pkt)
+        if self.bus.detail:
+            self.bus.emit(
+                OB.LINK_DEQ,
+                self.sim.now,
+                self.name,
+                uid=pkt.uid,
+                flow=pkt.flow,
+                seq=getattr(pkt.payload, "seq", None),
+            )
         # Random (non-congestion) loss; any lost fragment loses the packet.
         lost = False
         if self.loss_rate > 0.0:
@@ -197,6 +228,8 @@ class Link:
                     reason="loss",
                     size=pkt.size,
                     flow=pkt.flow,
+                    uid=pkt.uid,
+                    seq=getattr(pkt.payload, "seq", None),
                 )
         else:
             pkt.hops += 1

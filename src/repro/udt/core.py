@@ -391,6 +391,10 @@ class UdtCore:
             self.stats.retransmitted_pkts += 1
         if self.meter is not None:
             self.meter.on_data_sent(size)
+        if self.bus.detail:
+            self.bus.emit(
+                OB.PKT_SND, now, self.name, seq=seq, size=size, retx=retransmitted
+            )
         self._transmit(pkt, pkt.wire_size)
 
     # -- sender-side control input ----------------------------------------
@@ -511,8 +515,16 @@ class UdtCore:
         ne = self.rcv_buffer.next_expected
         if ne is not None and not self.rcv_buffer.accepts(pkt.seq):
             self.stats.buffer_drops += 1
+            if self.bus.enabled:
+                self.bus.emit(
+                    OB.RCV_BUFFER_DROP, now, self.name, seq=pkt.seq, size=pkt.size
+                )
             return
         self.stats.data_pkts_received += 1
+        if self.bus.detail:
+            self.bus.emit(
+                OB.PKT_RCV, now, self.name, seq=pkt.seq, retx=pkt.retransmitted
+            )
         if self.meter is not None:
             self.meter.on_data_received(pkt.size)
         # Measurement hooks (§3.2 / §3.4).

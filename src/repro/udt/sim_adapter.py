@@ -88,11 +88,13 @@ class UdtFlow:
         self._src_ep = UdpEndpoint(src)
         self._dst_ep = UdpEndpoint(dst)
 
+        # Wire packets carry the flow id so link-level telemetry (drops,
+        # queue events, ns-2 taps) is attributable to a connection.
         def snd_transmit(msg: Any, size: int) -> None:
-            self._src_ep.sendto(msg, size, self._dst_ep.address, flow=None)
+            self._src_ep.sendto(msg, size, self._dst_ep.address, flow=self.flow_id)
 
         def rcv_transmit(msg: Any, size: int) -> None:
-            self._dst_ep.sendto(msg, size, self._src_ep.address, flow=None)
+            self._dst_ep.sendto(msg, size, self._src_ep.address, flow=self.flow_id)
 
         self.sender = UdtCore(
             self.config,

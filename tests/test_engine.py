@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import Simulator, Timer
+from repro.sim.engine import Event, Simulator, Timer, format_vtime
 
 
 def test_events_run_in_time_order():
@@ -142,3 +142,40 @@ def test_timer_cancel_prevents_fire():
     t.cancel()
     sim.run()
     assert fired == []
+
+
+def test_repr_safe_on_cancelled_event():
+    sim = Simulator()
+    ev = sim.schedule(0.1, lambda: None)
+    assert "pending" in repr(ev)
+    ev.cancel()
+    # cancel() clears fn/args; repr must still work (debuggers repr the heap)
+    assert "cancelled" in repr(ev)
+    assert "seq=" in repr(ev)
+
+
+def test_repr_names_the_handler():
+    sim = Simulator()
+
+    def my_handler():
+        pass
+
+    ev = sim.schedule(0.1, my_handler)
+    assert "my_handler" in repr(ev)
+
+
+def test_repr_safe_on_garbage_time():
+    ev = Event(object(), 0, lambda: None, ())  # type: ignore[arg-type]
+    assert "seq=0" in repr(ev)
+
+
+def test_now_str_formats():
+    sim = Simulator()
+    assert sim.now_str() == "0.000ms"
+    sim.schedule(0.0005, lambda: None)
+    sim.run()
+    assert sim.now_str() == "0.500ms"
+    sim.schedule_at(2.25, lambda: None)
+    sim.run()
+    assert sim.now_str() == "2.250s"
+    assert format_vtime(float("nan")) == "?"

@@ -1,0 +1,182 @@
+"""Tests for the simulator hot-path profiler (repro.obs.prof)."""
+
+import json
+
+import pytest
+
+from repro.obs.prof import PROFILE_SCHEMA, SimProfiler, categorize, profile_simulators
+from repro.sim.engine import Simulator, Timer
+
+
+def _orig_run():
+    return Simulator.__dict__["run"]
+
+
+class TestRunProfiled:
+    def test_matches_run_semantics(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.3, seen.append, "c")
+        sim.schedule(0.1, seen.append, "a")
+        ev = sim.schedule(0.2, seen.append, "b")
+        ev.cancel()
+        acc = sim.run_profiled()
+        assert seen == ["a", "c"]
+        assert sim.events_processed == 2
+        assert sum(c for c, _ in acc.values()) == 2
+
+    def test_until_advances_clock(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        sim.run_profiled(until=2.0)
+        assert sim.now == 2.0
+
+    def test_accumulator_shared_across_segments(self):
+        sim = Simulator()
+        acc = {}
+        sim.schedule(0.1, lambda: None)
+        sim.run_profiled(until=1.0, acc=acc)
+        sim.schedule(0.5, lambda: None)
+        sim.run_profiled(acc=acc)
+        assert sum(c for c, _ in acc.values()) == 2
+
+    def test_timer_charged_to_wrapped_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def my_handler():
+            fired.append(sim.now)
+
+        Timer(sim, my_handler).restart(0.5)
+        acc = sim.run_profiled()
+        assert fired == [0.5]
+        assert my_handler in acc
+        assert Timer._fire not in acc
+
+
+class TestSimProfiler:
+    def test_instance_install_and_uninstall(self):
+        sim = Simulator()
+        prof = SimProfiler()
+        prof.install(sim)
+        sim.schedule(0.1, lambda: None)
+        sim.run()
+        prof.uninstall()
+        assert prof.events_total == 1
+        assert prof.runs == 1
+        assert prof.wall_seconds > 0
+        # uninstalled: instance attribute removed, class method again
+        assert "run" not in vars(sim)
+
+    def test_class_install_captures_new_simulators(self):
+        prof = SimProfiler()
+        with prof.activate():
+            sim = Simulator()  # constructed *after* install
+            sim.schedule(0.1, lambda: None)
+            sim.schedule(0.2, lambda: None)
+            sim.run()
+        assert prof.events_total == 2
+        assert Simulator.run is _orig_run()
+
+    def test_class_install_is_exclusive(self):
+        with profile_simulators():
+            with pytest.raises(RuntimeError):
+                SimProfiler().install()
+        assert Simulator.run is _orig_run()
+
+    def test_uninstall_restores_after_exception(self):
+        with pytest.raises(ValueError):
+            with profile_simulators():
+                raise ValueError("boom")
+        assert Simulator.run is _orig_run()
+
+    def test_categories_merge_and_sort(self):
+        prof = SimProfiler()
+        with prof.activate():
+            sim = Simulator()
+            for i in range(5):
+                sim.schedule(0.1 * i, list)  # same fn, one category
+            sim.run()
+        cats = prof.categories()
+        assert len(cats) == 1
+        row = cats[0]
+        assert set(row) == {"category", "events", "seconds", "share"}
+        assert row["events"] == 5
+        assert row["share"] == pytest.approx(1.0)
+
+    def test_top_limits_rows(self):
+        prof = SimProfiler()
+        with prof.activate():
+            sim = Simulator()
+            sim.schedule(0.1, list)
+            sim.schedule(0.2, dict)
+            sim.schedule(0.3, set)
+            sim.run()
+        assert len(prof.top(2)) == 2
+        assert len(prof.categories()) == 3
+
+    def test_write_json_schema(self, tmp_path):
+        prof = SimProfiler()
+        with prof.activate():
+            sim = Simulator()
+            sim.schedule(0.1, list)
+            sim.run()
+        path = tmp_path / "BENCH_profile_test.json"
+        prof.write_json(str(path), exp_id="test")
+        d = json.loads(path.read_text())
+        assert d["schema"] == PROFILE_SCHEMA
+        assert d["kind"] == "bench.profile"
+        assert d["exp_id"] == "test"
+        assert d["events_total"] == 1
+        for row in d["categories"]:
+            assert set(row) == {"category", "events", "seconds", "share"}
+
+    def test_to_text_renders(self):
+        prof = SimProfiler()
+        with prof.activate():
+            sim = Simulator()
+            sim.schedule(0.1, list)
+            sim.run()
+        text = prof.to_text()
+        assert "simulator profile" in text
+        assert "category" in text
+
+
+class TestCategorize:
+    def test_known_handlers_mapped(self):
+        from repro.sim.link import Link
+        from repro.udt.core import UdtCore
+
+        assert categorize(Link._tx_done) == "link.transmit"
+        assert categorize(UdtCore._on_send_timer) == "cc.send_timer"
+        assert categorize(UdtCore._on_syn_timer) == "cc.syn_timer"
+
+    def test_unknown_handler_falls_back_to_qualname(self):
+        def my_fn():
+            pass
+
+        cat = categorize(my_fn)
+        assert "my_fn" in cat
+
+
+class TestProfiledExperiment:
+    def test_profiling_does_not_perturb_virtual_time(self):
+        """A profiled run must be deterministic and identical to unprofiled."""
+        from repro.sim.topology import path_topology
+        from repro.udt import start_udt_flow
+
+        def run_flow(profiled):
+            top = path_topology(50e6, 0.02, seed=7)
+            f = start_udt_flow(top.net, top.src, top.dst, flow_id="p")
+            if profiled:
+                prof = SimProfiler()
+                with prof.activate(top.net.sim):
+                    top.net.run(until=2.0)
+                assert prof.events_total > 100
+                assert prof.categories()[0]["events"] > 0
+            else:
+                top.net.run(until=2.0)
+            return f.receiver.delivered_bytes
+
+        assert run_flow(False) == run_flow(True)
