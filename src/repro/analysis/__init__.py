@@ -1,0 +1,95 @@
+"""Protocol-invariant static analysis + determinism sanitizer.
+
+The invariants this reproduction leans on — 31-bit wrap-around sequence
+arithmetic, a sans-IO protocol core, a machine-checked telemetry schema,
+reproducible discrete-event runs — were conventions until this package;
+now they are enforced properties.  Four AST checkers run over
+``src/repro`` through a small driver (:mod:`repro.analysis.core`):
+
+=================== ========================================================
+rule                what it enforces
+=================== ========================================================
+``seqno-arith``     no raw ``<``/``>``/``+``/``-``/``==`` on sequence
+                    numbers outside ``repro/udt/seqno.py``
+``sansio-purity``   no wall clocks, unseeded RNG, sockets or threads in
+                    ``repro/udt/`` and ``repro/sim/``
+``event-schema``    every ``bus.emit`` payload and consumer key access
+                    matches ``repro/obs/catalog.py``
+``vtime-determinism`` no float ``==`` between virtual times; no
+                    scheduling out of unordered iteration
+=================== ========================================================
+
+The runtime half, :class:`repro.analysis.sanitizer.DeterminismSanitizer`,
+runs an experiment twice with perturbed same-vtime tie-breaking and hash
+seeds and diffs the JSONL traces byte-for-byte.
+
+Entry points: ``repro-udt lint`` and ``python -m repro.analysis``; the
+CI gate compares against ``analysis/baseline.json``.  See
+docs/ANALYSIS.md for the full rule catalog and suppression syntax.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import (
+    BaselineComparison,
+    compare,
+    default_baseline_path,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleContext,
+    default_root,
+    repo_root,
+    run_checkers,
+)
+from repro.analysis.event_schema import EventSchemaChecker
+from repro.analysis.sansio import SansioPurityChecker
+from repro.analysis.seqno_arith import SeqnoArithChecker
+from repro.analysis.vtime import VtimeDeterminismChecker
+
+
+def all_checkers() -> List[Checker]:
+    """Fresh instances of every registered checker, in rule order."""
+    return [
+        SeqnoArithChecker(),
+        SansioPurityChecker(),
+        EventSchemaChecker(),
+        VtimeDeterminismChecker(),
+    ]
+
+
+def rule_ids() -> List[str]:
+    return [c.rule for c in all_checkers()]
+
+
+def run_analysis(
+    root=None, rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run all (or selected) checkers over ``root`` (default: src/repro)."""
+    from pathlib import Path
+
+    target = Path(root) if root is not None else default_root()
+    return run_checkers(target, all_checkers(), rules=rules)
+
+
+__all__ = [
+    "BaselineComparison",
+    "Checker",
+    "Finding",
+    "ModuleContext",
+    "all_checkers",
+    "compare",
+    "default_baseline_path",
+    "default_root",
+    "load_baseline",
+    "repo_root",
+    "rule_ids",
+    "run_analysis",
+    "run_checkers",
+    "write_baseline",
+]

@@ -1,0 +1,108 @@
+"""Baseline bookkeeping: grandfathered findings and the CI gate.
+
+The lint gate is *zero new findings*, not *zero findings*: a checked-in
+``analysis/baseline.json`` records any finding that predates a rule (or
+is a deliberate exception too broad for an inline suppression), and the
+comparator classifies a run's findings into ``new`` / ``baselined`` /
+``fixed``.  Policy (docs/ANALYSIS.md): prefer fixing over baselining,
+prefer an inline ``# lint: disable=<rule>`` with a justification comment
+over a baseline entry, and never let the baseline grow in a PR that
+isn't introducing the rule itself.
+
+Matching is by ``(rule, path, message)`` with multiplicity, deliberately
+ignoring line numbers so unrelated edits above a grandfathered finding
+do not break the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.core import Finding, repo_root
+
+BASELINE_SCHEMA = 1
+
+#: default baseline location, relative to the repository root.
+BASELINE_RELPATH = Path("analysis") / "baseline.json"
+
+
+def default_baseline_path() -> Optional[Path]:
+    root = repo_root()
+    if root is not None:
+        return root / BASELINE_RELPATH
+    candidate = Path.cwd() / BASELINE_RELPATH
+    return candidate if candidate.exists() else None
+
+
+def load_baseline(path: Optional[Path]) -> List[Finding]:
+    """Read baseline findings; a missing file is an empty baseline."""
+    if path is None or not Path(path).exists():
+        return []
+    with open(path, "r") as f:
+        doc = json.load(f)
+    if doc.get("kind") != "lint.baseline" or doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: not a schema-{BASELINE_SCHEMA} lint.baseline file")
+    return [Finding.from_dict(d) for d in doc.get("findings", [])]
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "kind": "lint.baseline",
+        "findings": [f.to_dict() for f in findings],
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+@dataclass
+class BaselineComparison:
+    """Findings from one run classified against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    fixed: List[Finding] = field(default_factory=list)
+
+    @property
+    def gate_passed(self) -> bool:
+        return not self.new
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "new": [f.to_dict() for f in self.new],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "fixed": [f.to_dict() for f in self.fixed],
+            "gate_passed": self.gate_passed,
+        }
+
+
+def compare(
+    findings: Sequence[Finding], baseline: Sequence[Finding]
+) -> BaselineComparison:
+    """Classify ``findings`` against ``baseline`` (multiset semantics)."""
+    remaining = Counter(b.identity() for b in baseline)
+    out = BaselineComparison()
+    for f in findings:
+        key = f.identity()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            out.baselined.append(f)
+        else:
+            out.new.append(f)
+    matched: Counter = Counter(b.identity() for b in baseline)
+    matched.subtract(remaining)
+    leftover = +remaining
+    if leftover:
+        by_key: Dict[Any, Finding] = {}
+        for b in baseline:
+            by_key.setdefault(b.identity(), b)
+        for key, n in leftover.items():
+            out.fixed.extend([by_key[key]] * n)
+    return out

@@ -1,0 +1,233 @@
+"""Command-line surface for the analysis suite.
+
+Shared by two entry points: ``repro-udt lint`` (the subcommand wired
+into :mod:`repro.cli`) and ``python -m repro.analysis`` (the same lint
+driver, importable without the rest of the CLI; also hosts the hidden
+``--worker`` mode the determinism sanitizer spawns).
+
+Exit codes: 0 = clean (no non-baselined findings / sanitizer agreed),
+1 = new findings or divergence, 2 = usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast as _ast
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.baseline import (
+    compare,
+    default_baseline_path,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import default_root
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the lint options on ``parser`` (shared by both entry points)."""
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the findings/baseline comparison as JSON on stdout "
+        "(round-trips through the baseline format)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only this rule (repeatable); default: all rules. "
+        "Rule filtering skips the baseline gate (exit reflects raw findings)",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help="package tree to analyse (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file to gate against (default: analysis/baseline.json "
+        "at the repo root)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings instead of "
+        "gating (for deliberate, reviewed exceptions)",
+    )
+    parser.add_argument(
+        "--sanitize",
+        metavar="EXP_ID",
+        default=None,
+        help="additionally run the determinism sanitizer on this experiment "
+        "(two perturbed runs, byte-level trace diff)",
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        dest="overrides",
+        help="runner keyword override for --sanitize (repeatable), "
+        "e.g. --set duration=5",
+    )
+
+
+def _parse_overrides(
+    items: List[str], parser: Optional[argparse.ArgumentParser] = None
+) -> Dict[str, Any]:
+    kwargs: Dict[str, Any] = {}
+    for item in items:
+        if "=" not in item:
+            msg = f"--set expects KEY=VALUE, got {item!r}"
+            if parser is not None:
+                parser.error(msg)
+            raise SystemExit(msg)
+        key, _, raw = item.partition("=")
+        try:
+            kwargs[key] = _ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            kwargs[key] = raw
+    return kwargs
+
+
+def run_lint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Run the checker driver, gate against the baseline, maybe sanitize."""
+    from repro.analysis import all_checkers, rule_ids
+    from repro.analysis.core import run_checkers
+
+    rules = args.rule
+    if rules:
+        unknown = sorted(set(rules) - set(rule_ids()))
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(unknown)}")
+
+    root = Path(args.root) if args.root else default_root()
+    if not root.is_dir():
+        parser.error(f"not a directory: {root}")
+
+    t0 = time.perf_counter()
+    findings = run_checkers(root, all_checkers(), rules=rules)
+    elapsed = time.perf_counter() - t0
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else default_baseline_path()
+    )
+    if baseline_path is None:
+        from repro.analysis.baseline import BASELINE_RELPATH
+
+        baseline_path = Path.cwd() / BASELINE_RELPATH
+
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        if not args.json:
+            print(f"[baseline: {len(findings)} finding(s) -> {baseline_path}]")
+        return 0
+
+    if rules:
+        # Partial runs can't be compared against the full-tree baseline;
+        # report raw findings and let the exit code reflect them.
+        payload: Dict[str, Any] = {
+            "schema": 1,
+            "kind": "lint.report",
+            "rules": sorted(rules),
+            "elapsed_s": round(elapsed, 3),
+            "findings": [f.to_dict() for f in findings],
+        }
+        if args.json:
+            json.dump(payload, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            for f in findings:
+                print(f.format())
+            print(
+                f"[lint: {len(findings)} finding(s), rules "
+                f"{','.join(sorted(rules))}, {elapsed:.2f}s]"
+            )
+        return 1 if findings else 0
+
+    baseline = load_baseline(baseline_path) if baseline_path.is_file() else []
+    cmp = compare(findings, baseline)
+    payload = {
+        "schema": 1,
+        "kind": "lint.report",
+        "elapsed_s": round(elapsed, 3),
+        "baseline": str(baseline_path),
+        **cmp.to_dict(),
+    }
+
+    rc = 0 if cmp.gate_passed else 1
+    sanitize_result = None
+    if args.sanitize:
+        from repro.analysis.sanitizer import DeterminismSanitizer
+
+        sanitizer = DeterminismSanitizer(
+            args.sanitize, overrides=_parse_overrides(args.overrides, parser)
+        )
+        sanitize_result = sanitizer.run()
+        payload["sanitize"] = sanitize_result.to_dict()
+        if not sanitize_result.deterministic:
+            rc = 1
+
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return rc
+
+    for f in cmp.new:
+        print(f.format())
+    summary = (
+        f"[lint: {len(findings)} finding(s) — {len(cmp.new)} new, "
+        f"{len(cmp.baselined)} baselined, {len(cmp.fixed)} fixed vs baseline; "
+        f"{elapsed:.2f}s]"
+    )
+    print(summary)
+    if cmp.fixed:
+        print(
+            "[note: baseline lists finding(s) no longer present — "
+            "refresh it with --write-baseline]"
+        )
+    if sanitize_result is not None:
+        print(sanitize_result.format())
+    return rc
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    from repro.analysis.sanitizer import run_worker
+
+    run_worker(
+        args.worker,
+        args.worker_trace,
+        _parse_overrides(args.overrides),
+        args.worker_packets,
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Protocol-invariant static analysis for the repro tree.",
+    )
+    add_lint_arguments(parser)
+    # Hidden worker mode used by DeterminismSanitizer subprocesses.
+    parser.add_argument("--worker", metavar="EXP_ID", help=argparse.SUPPRESS)
+    parser.add_argument("--worker-trace", metavar="PATH", help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--worker-packets", action="store_true", help=argparse.SUPPRESS
+    )
+    args = parser.parse_args(argv)
+    if args.worker:
+        if not args.worker_trace:
+            parser.error("--worker requires --worker-trace")
+        return _run_worker(args)
+    return run_lint(args, parser)

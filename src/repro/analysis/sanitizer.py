@@ -1,0 +1,269 @@
+"""Runtime determinism sanitizer: perturb tie-breaking, diff the traces.
+
+Static rules catch the *patterns* that cause nondeterminism; this module
+catches the *fact* of it.  :class:`DeterminismSanitizer` runs one named
+experiment twice, each run in a fresh subprocess with the perturbations
+that flush out hidden ordering dependence:
+
+* **reversed same-vtime tie-breaking** — run A uses the engine's FIFO
+  order for equal-time events, run B LIFO (``REPRO_TIE_BREAK=lifo``).
+  Causally unrelated events that happen to share a float timestamp must
+  commute; if any component secretly depends on their interleaving, the
+  runs diverge.
+* **different hash seeds** — ``PYTHONHASHSEED`` differs between the
+  runs, so any iteration over a ``set`` (or other hash-ordered
+  container) that leaks into scheduling or telemetry reorders.
+
+Both runs record a full JSONL telemetry trace (packet-detail tier
+included), and the two traces are then compared **byte for byte**, event
+by event.  A clean experiment produces identical streams; the first
+divergence is reported with the surrounding event context (the qlog-ish
+equivalent of a sanitizer stack trace).
+
+Fresh subprocesses matter: ``PYTHONHASHSEED`` is fixed at interpreter
+start, and process-global counters (wire-packet uids, default flow ids)
+must start from the same state in both runs.  The worker entry point is
+``python -m repro.analysis --worker <exp>`` (see ``__main__.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: (tie_break, PYTHONHASHSEED) for the two perturbed runs.
+PERTURBATIONS: Tuple[Tuple[str, str], ...] = (("fifo", "1"), ("lifo", "2"))
+
+
+@dataclass
+class Divergence:
+    """First point where the two perturbed traces disagree."""
+
+    index: int  # 0-based event index (meta line excluded)
+    line_a: Optional[str]  # raw JSONL, None = stream A ended early
+    line_b: Optional[str]
+    context: List[str] = field(default_factory=list)  # events just before
+
+    def _describe(self, line: Optional[str]) -> str:
+        if line is None:
+            return "<end of trace>"
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            return line[:120]
+        bits = [f"t={rec.get('t')}", f"kind={rec.get('kind')}", f"src={rec.get('src')}"]
+        for key in ("seq", "uid", "flow", "reason"):
+            if key in rec:
+                bits.append(f"{key}={rec[key]}")
+        return " ".join(bits)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "a": self.line_a,
+            "b": self.line_b,
+            "context": list(self.context),
+        }
+
+    def format(self) -> str:
+        lines = [f"first divergence at event #{self.index}:"]
+        for tag, line in (("A(fifo)", self.line_a), ("B(lifo)", self.line_b)):
+            lines.append(f"  {tag}: {self._describe(line)}")
+        if self.context:
+            lines.append("  preceding events (common to both runs):")
+            for c in self.context:
+                lines.append(f"    {self._describe(c)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class SanitizerResult:
+    """Outcome of one dual-run determinism check."""
+
+    exp_id: str
+    deterministic: bool
+    events: int  # events compared (excluding the trace.meta header)
+    divergence: Optional[Divergence] = None
+    runs: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": 1,
+            "kind": "lint.sanitize",
+            "exp_id": self.exp_id,
+            "deterministic": self.deterministic,
+            "events": self.events,
+            "divergence": self.divergence.to_dict() if self.divergence else None,
+            "runs": list(self.runs),
+        }
+
+    def format(self) -> str:
+        if self.deterministic:
+            return (
+                f"determinism sanitizer: {self.exp_id} OK — "
+                f"{self.events} events byte-identical across "
+                "fifo/lifo tie-break and differing hash seeds"
+            )
+        assert self.divergence is not None
+        return (
+            f"determinism sanitizer: {self.exp_id} DIVERGED\n"
+            + self.divergence.format()
+        )
+
+
+def diff_traces(
+    path_a: Path, path_b: Path, context: int = 5
+) -> Tuple[int, Optional[Divergence]]:
+    """Byte-compare two JSONL traces event by event.
+
+    The ``trace.meta`` header line of each file is skipped (it may carry
+    run-specific metadata); every subsequent line must match exactly.
+    Returns (events_compared, first_divergence_or_None).
+    """
+    recent: List[str] = []
+    index = 0
+    with open(path_a, "r") as fa, open(path_b, "r") as fb:
+        ia = (line.rstrip("\n") for line in fa)
+        ib = (line.rstrip("\n") for line in fb)
+        for it in (ia, ib):  # skip each file's meta header, if present
+            first = next(it, None)
+            if first is not None and '"trace.meta"' not in first:
+                raise ValueError("trace does not start with a trace.meta header")
+        while True:
+            la = next(ia, None)
+            lb = next(ib, None)
+            if la is None and lb is None:
+                return index, None
+            if la != lb:
+                return index, Divergence(
+                    index=index, line_a=la, line_b=lb, context=list(recent)
+                )
+            assert la is not None
+            recent.append(la)
+            if len(recent) > context:
+                recent.pop(0)
+            index += 1
+
+
+def _worker_argv(
+    exp_id: str, trace_path: Path, overrides: Dict[str, Any], packets: bool
+) -> List[str]:
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.analysis",
+        "--worker",
+        exp_id,
+        "--worker-trace",
+        str(trace_path),
+    ]
+    if packets:
+        argv.append("--worker-packets")
+    for key, value in overrides.items():
+        argv += ["--set", f"{key}={value!r}" if isinstance(value, str) else f"{key}={value}"]
+    return argv
+
+
+def run_worker(exp_id: str, trace_path: str, overrides: Dict[str, Any], packets: bool) -> None:
+    """Subprocess body: run one experiment fully traced (no stdout noise)."""
+    from repro.experiments import get_experiment
+    from repro.experiments.common import traced
+
+    exp = get_experiment(exp_id)
+    with traced(trace_path, packets=packets, generator="sanitizer", experiments=[exp_id]):
+        exp.runner(**overrides)
+
+
+class DeterminismSanitizer:
+    """Run an experiment under both perturbations and diff the traces.
+
+    Parameters
+    ----------
+    exp_id:
+        Experiment id as listed by ``repro-udt list`` (e.g. ``fig02``).
+    overrides:
+        Runner keyword overrides, like the CLI's ``--set`` (use reduced
+        durations for smoke runs).
+    packets:
+        Record the per-packet detail tier too (default True — more
+        sensitive, bigger traces).
+    workdir:
+        Where to keep the two traces; a temp dir (deleted on success,
+        kept on divergence for forensics) when omitted.
+    """
+
+    def __init__(
+        self,
+        exp_id: str,
+        overrides: Optional[Dict[str, Any]] = None,
+        packets: bool = True,
+        workdir: Optional[str] = None,
+        timeout: float = 900.0,
+    ):
+        self.exp_id = exp_id
+        self.overrides = dict(overrides or {})
+        self.packets = packets
+        self.workdir = workdir
+        self.timeout = timeout
+
+    def _spawn(self, trace_path: Path, tie_break: str, hashseed: str) -> Dict[str, Any]:
+        env = dict(os.environ)
+        env["REPRO_TIE_BREAK"] = tie_break
+        env["PYTHONHASHSEED"] = hashseed
+        # The worker must resolve the same repro package as this process.
+        pkg_root = Path(__file__).resolve().parent.parent.parent
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(pkg_root), env.get("PYTHONPATH")) if p
+        )
+        argv = _worker_argv(self.exp_id, trace_path, self.overrides, self.packets)
+        proc = subprocess.run(
+            argv,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            timeout=self.timeout,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"sanitizer worker failed (tie_break={tie_break}, "
+                f"rc={proc.returncode}):\n{proc.stderr.decode(errors='replace')[-2000:]}"
+            )
+        return {
+            "tie_break": tie_break,
+            "hashseed": hashseed,
+            "trace": str(trace_path),
+            "bytes": trace_path.stat().st_size,
+        }
+
+    def run(self) -> SanitizerResult:
+        own_tmp = self.workdir is None
+        workdir = Path(self.workdir or tempfile.mkdtemp(prefix="repro-sanitize-"))
+        workdir.mkdir(parents=True, exist_ok=True)
+        runs: List[Dict[str, Any]] = []
+        paths: List[Path] = []
+        for tie_break, hashseed in PERTURBATIONS:
+            trace_path = workdir / f"{self.exp_id}-{tie_break}.jsonl"
+            runs.append(self._spawn(trace_path, tie_break, hashseed))
+            paths.append(trace_path)
+        events, divergence = diff_traces(paths[0], paths[1])
+        result = SanitizerResult(
+            exp_id=self.exp_id,
+            deterministic=divergence is None,
+            events=events,
+            divergence=divergence,
+            runs=runs,
+        )
+        if divergence is None and own_tmp:
+            for p in paths:
+                p.unlink(missing_ok=True)
+            try:
+                workdir.rmdir()
+            except OSError:
+                pass
+        return result

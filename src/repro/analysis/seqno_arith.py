@@ -1,0 +1,140 @@
+"""seqno-arith: no raw arithmetic/comparison on wrap-around sequence numbers.
+
+UDT sequence numbers live in a 31-bit circular space (paper §4 and the
+loss-list appendix): ``a < b`` and ``b - a`` are meaningless near the
+wrap, which is exactly where they pass every test and then corrupt a
+multi-terabyte transfer in hour nine.  All ordering, distance and
+successor logic must go through :mod:`repro.udt.seqno`
+(``seq_cmp``/``seq_off``/``seq_len``/``seq_inc``/``seq_dec``/``valid_seq``).
+
+This rule flags comparison (``<`` ``>`` ``<=`` ``>=`` ``==`` ``!=``) and
+additive arithmetic (``+`` ``-``) where either operand *looks like* a
+sequence number — a name or attribute containing ``seq`` (``ack_seq``,
+``init_seq``, ``.seq``, ``SeqNo``...) or one of the known aliases
+(``lrsn``, the receiver's "largest received sequence number").
+
+Scope: ``repro/udt/`` and ``repro/sabul/`` only.  ``repro/udt/seqno.py``
+is the one module allowed to do raw modular arithmetic (it *implements*
+the helpers), and ``repro/tcp/`` is excluded by design: the NS-2-style
+TCP agents number packets with plain unbounded Python ints that never
+wrap (see the module docstrings of ``repro/tcp/agent.py`` and
+``repro/tcp/scoreboard.py``).
+
+Equality (``==``/``!=``) on two in-range sequence numbers is actually
+wrap-safe, but it is flagged anyway: at a glance a reader cannot tell a
+safe identity check from an ordering bug, so the deliberate ones carry
+an inline ``# lint: disable=seqno-arith`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import Checker, Finding, ModuleContext
+
+RULE = "seqno-arith"
+
+#: variable/attribute names that are sequence numbers without "seq" in them.
+_SEQ_ALIASES = frozenset({"lrsn"})
+
+#: names that merely *contain* "seq" but are not circular sequence values.
+_NOT_SEQ = frozenset(
+    {
+        "seq_cmp",
+        "seq_off",
+        "seq_len",
+        "seq_inc",
+        "seq_dec",
+        "valid_seq",
+        "sequence",  # prose-ish identifiers
+        # Space-size constants: `w & (MAX_SEQ_NO - 1)` is a bitmask, not
+        # sequence arithmetic.  A real seq value on the other side of an
+        # operator still triggers the rule on its own.
+        "MAX_SEQ_NO",
+        "SEQ_THRESHOLD",
+    }
+)
+
+_FLAGGED_CMPOPS = (ast.Lt, ast.Gt, ast.LtE, ast.GtE, ast.Eq, ast.NotEq)
+_FLAGGED_BINOPS = (ast.Add, ast.Sub)
+
+
+def _name_is_seqlike(name: str) -> bool:
+    if name in _NOT_SEQ:
+        return False
+    low = name.lower()
+    return "seq" in low or low in _SEQ_ALIASES
+
+
+def _expr_is_seqlike(node: ast.AST) -> bool:
+    """Heuristic: does this expression denote a sequence-number value?"""
+    if isinstance(node, ast.Name):
+        return _name_is_seqlike(node.id)
+    if isinstance(node, ast.Attribute):
+        return _name_is_seqlike(node.attr)
+    return False
+
+
+def _describe(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)  # py3.9+
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return "<expr>"
+
+
+class SeqnoArithChecker(Checker):
+    rule = RULE
+    description = (
+        "raw </>/+/-/== arithmetic on wrap-around sequence numbers; "
+        "use repro.udt.seqno helpers (seq_cmp/seq_off/seq_inc/...)"
+    )
+
+    def interested(self, ctx: ModuleContext) -> bool:
+        rp = ctx.relpath
+        if rp == "udt/seqno.py":
+            return False
+        return rp.startswith("udt/") or rp.startswith("sabul/")
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for op, left, right in zip(node.ops, operands, operands[1:]):
+                    if not isinstance(op, _FLAGGED_CMPOPS):
+                        continue
+                    hit = next(
+                        (e for e in (left, right) if _expr_is_seqlike(e)), None
+                    )
+                    if hit is None:
+                        continue
+                    opname = type(op).__name__
+                    findings.append(
+                        ctx.finding(
+                            RULE,
+                            node,
+                            f"raw {opname} comparison on sequence number "
+                            f"{_describe(hit)!r}; use seq_cmp/valid_seq "
+                            "(wrap-around space)",
+                        )
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, _FLAGGED_BINOPS
+            ):
+                hit = next(
+                    (e for e in (node.left, node.right) if _expr_is_seqlike(e)),
+                    None,
+                )
+                if hit is not None:
+                    opname = type(node.op).__name__
+                    findings.append(
+                        ctx.finding(
+                            RULE,
+                            node,
+                            f"raw {opname} arithmetic on sequence number "
+                            f"{_describe(hit)!r}; use seq_off/seq_inc/seq_dec/"
+                            "seq_len (wrap-around space)",
+                        )
+                    )
+        return findings

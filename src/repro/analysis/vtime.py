@@ -1,0 +1,172 @@
+"""vtime-determinism: float virtual-time hygiene and ordered scheduling.
+
+Two classic ways a discrete-event simulation stops being a function of
+its seed:
+
+1. **Float equality on virtual time.**  Virtual timestamps are float
+   sums of float delays; ``t1 == t2`` between independently computed
+   times is a coin flip over rounding.  Ordering comparisons are fine —
+   only exact ``==``/``!=`` between time-like values is flagged.  (The
+   ``x != x`` NaN idiom is recognised and allowed.)
+
+2. **Scheduling out of an unordered container.**  ``for x in
+   some_set: sim.schedule(...)`` enqueues same-time events in hash
+   order, which ``PYTHONHASHSEED`` reshuffles run-to-run.  The engine's
+   FIFO tie-break then faithfully *preserves* that scrambled order.
+   Iterating a ``set`` (or ``dict.keys()``/``.values()``, whose order is
+   insertion-dependent and thus fragile under refactors) in a loop that
+   reaches ``schedule``/``schedule_at``/``Timer``/``restart`` is
+   flagged; wrap the iterable in ``sorted(...)`` to fix.
+
+Scope: ``repro/udt/``, ``repro/sim/`` and ``repro/sabul/``.  The runtime
+complement of this rule is
+:class:`repro.analysis.sanitizer.DeterminismSanitizer`, which actually
+perturbs tie-breaking and hash seeds and diffs the resulting traces.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import Checker, Finding, ModuleContext
+
+RULE = "vtime-determinism"
+
+#: exact names treated as virtual-time values.
+_TIME_NAMES = frozenset(
+    {"t", "t0", "t1", "now", "time", "deadline", "vtime", "timestamp"}
+)
+#: name substrings treated as virtual-time values.
+_TIME_SUBSTRINGS = ("_time", "time_", "deadline")
+
+#: call/attribute names that schedule events.
+_SCHEDULING_CALLS = frozenset(
+    {"schedule", "schedule_at", "call_at", "restart", "start_if_idle"}
+)
+_SCHEDULING_CTORS = frozenset({"Timer"})
+
+
+def _name_is_timelike(name: str) -> bool:
+    if name in _TIME_NAMES:
+        return True
+    low = name.lower()
+    return any(s in low for s in _TIME_SUBSTRINGS)
+
+
+def _expr_is_timelike(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return _name_is_timelike(node.id)
+    if isinstance(node, ast.Attribute):
+        return _name_is_timelike(node.attr)
+    if isinstance(node, ast.Call):
+        f = node.func
+        if isinstance(f, ast.Attribute) and f.attr == "now":
+            return True
+        if isinstance(f, ast.Name) and f.id == "now":
+            return True
+    return False
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _is_float_const(node: ast.AST) -> bool:
+    """Non-zero float literal (exact zero is a deliberate sentinel)."""
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value != 0.0
+    )
+
+
+def _is_unordered_iter(node: ast.AST) -> bool:
+    """set literals/comprehensions, set(...), d.keys(), d.values()."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        f = node.func
+        if isinstance(f, ast.Name) and f.id in ("set", "frozenset"):
+            return True
+        if isinstance(f, ast.Attribute) and f.attr in ("keys", "values"):
+            return True
+    return False
+
+
+def _contains_scheduling(body: Iterable[ast.AST]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            f = node.func
+            if isinstance(f, ast.Attribute) and f.attr in _SCHEDULING_CALLS:
+                return True
+            if isinstance(f, ast.Name) and f.id in (
+                _SCHEDULING_CALLS | _SCHEDULING_CTORS
+            ):
+                return True
+            if isinstance(f, ast.Attribute) and f.attr in _SCHEDULING_CTORS:
+                return True
+    return False
+
+
+class VtimeDeterminismChecker(Checker):
+    rule = RULE
+    description = (
+        "no float ==/!= between virtual times; no scheduling out of "
+        "set()/dict.keys() iteration (hash-order nondeterminism)"
+    )
+
+    def interested(self, ctx: ModuleContext) -> bool:
+        rp = ctx.relpath
+        return (
+            rp.startswith("udt/") or rp.startswith("sim/") or rp.startswith("sabul/")
+        )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for op, left, right in zip(node.ops, operands, operands[1:]):
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    if _is_none(left) or _is_none(right):
+                        continue
+                    # Require both sides time-like, or one time-like vs a
+                    # float literal: `t != tap` (a tap object) is fine,
+                    # `t1 == t2` and `now == 0.25` are not.
+                    lt, rt = _expr_is_timelike(left), _expr_is_timelike(right)
+                    if not (
+                        (lt and rt)
+                        or (lt and _is_float_const(right))
+                        or (rt and _is_float_const(left))
+                    ):
+                        continue
+                    # x != x is the standard NaN test, not a time compare.
+                    if ast.dump(left) == ast.dump(right):
+                        continue
+                    opname = "==" if isinstance(op, ast.Eq) else "!="
+                    findings.append(
+                        ctx.finding(
+                            RULE,
+                            node,
+                            f"exact float {opname} between virtual times "
+                            "(rounding makes this nondeterministic); compare "
+                            "with an epsilon or restructure",
+                        )
+                    )
+            elif isinstance(node, ast.For) and _is_unordered_iter(node.iter):
+                if _contains_scheduling(node.body):
+                    findings.append(
+                        ctx.finding(
+                            RULE,
+                            node,
+                            "scheduling events while iterating an unordered "
+                            "container (set()/dict.keys()): same-time event "
+                            "order becomes hash-order; iterate sorted(...) "
+                            "instead",
+                        )
+                    )
+        return findings

@@ -15,6 +15,16 @@
                                     # clock goes, written to
                                     # BENCH_profile_fig02.json
     repro-udt report t.jsonl        # loss-forensics report from a trace
+    repro-udt lint                  # protocol-invariant static analysis
+                                    # over the repro tree (seqno-arith,
+                                    # sansio-purity, event-schema,
+                                    # vtime-determinism) gated against
+                                    # analysis/baseline.json
+    repro-udt lint --sanitize fig02 --set duration=5
+                                    # + determinism sanitizer: the
+                                    # experiment runs twice with perturbed
+                                    # tie-breaking and hash seeds, traces
+                                    # must be byte-identical
 
 ``REPRO_SCALE`` (default 0.3) scales experiment durations; set it to 1
 for the paper's published durations.
@@ -176,6 +186,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write the full report as JSON to PATH",
     )
 
+    lintp = sub.add_parser(
+        "lint",
+        help="protocol-invariant static analysis (and optional determinism "
+        "sanitizer) over the repro tree; see docs/ANALYSIS.md",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lintp)
+
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
@@ -190,6 +209,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.cmd == "report":
         return _cmd_report(args)
+    if args.cmd == "lint":
+        from repro.analysis.cli import run_lint
+
+        return run_lint(args, lintp)
     return _cmd_run(args, parser)
 
 

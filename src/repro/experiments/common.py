@@ -83,6 +83,20 @@ def mbps(bps: float) -> float:
     return bps / 1e6
 
 
+#: Deterministic spacing between "concurrent" flow starts.  Flows that
+#: all start at exactly t=0 leave their handshakes tied in virtual time,
+#: making run order depend on the engine's same-instant tie-break — the
+#: determinism sanitizer (docs/ANALYSIS.md) flags that.  10 µs is far
+#: below any RTT or rate-control period, so staggered flows are still
+#: concurrent for every experiment's purposes.
+FLOW_START_STAGGER = 1e-5
+
+
+def flow_start(i: int) -> float:
+    """Start time for the i-th concurrent flow of an experiment."""
+    return i * FLOW_START_STAGGER
+
+
 @contextmanager
 def traced(
     trace_path: Optional[str] = None,

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.common import ExperimentResult, scaled
+from repro.experiments.common import ExperimentResult, flow_start, scaled
 from repro.metrics import jain_index
 from repro.sim.topology import dumbbell
 from repro.tcp import start_tcp_flow
@@ -22,10 +22,17 @@ def _run_flows(kind: str, n: int, rate: float, rtt: float, duration: float, seed
     d = dumbbell(n, rate, rtt, seed=seed)
     flows = []
     for i in range(n):
+        # Staggered, not simultaneous: t=0 handshake ties would make run
+        # order depend on the engine tie-break (determinism sanitizer).
+        start = flow_start(i)
         if kind == "udt":
-            f = start_udt_flow(d.net, d.sources[i], d.sinks[i], flow_id=f"f{i}")
+            f = start_udt_flow(
+                d.net, d.sources[i], d.sinks[i], start=start, flow_id=f"f{i}"
+            )
         else:
-            f = start_tcp_flow(d.net, d.sources[i], d.sinks[i], flow_id=f"f{i}")
+            f = start_tcp_flow(
+                d.net, d.sources[i], d.sinks[i], start=start, flow_id=f"f{i}"
+            )
         flows.append(f)
     d.net.run(until=duration)
     return d, flows

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.common import ExperimentResult, scaled
+from repro.experiments.common import ExperimentResult, flow_start, scaled
 from repro.metrics import stability_index
 from repro.sim.topology import dumbbell
 from repro.tcp import start_tcp_flow
@@ -43,7 +43,16 @@ def run(
         for kind, starter in (("udt", start_udt_flow), ("tcp", start_tcp_flow)):
             d = dumbbell(n_flows, rate_bps, rtt, seed=seed)
             flows = [
-                starter(d.net, d.sources[i], d.sinks[i], flow_id=f"f{i}")
+                # Staggered starts: t=0 handshake ties would make run
+                # order depend on the engine tie-break (see
+                # common.flow_start / the determinism sanitizer).
+                starter(
+                    d.net,
+                    d.sources[i],
+                    d.sinks[i],
+                    start=flow_start(i),
+                    flow_id=f"f{i}",
+                )
                 for i in range(n_flows)
             ]
             d.net.run(until=duration)

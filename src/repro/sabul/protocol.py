@@ -42,7 +42,9 @@ class SabulCC(CongestionControl):
         self.static_window = static_window
         self.window = float(static_window)
         self.last_rc_time = 0.0
-        self.last_dec_seq = -1
+        # None until the first decrease (avoids raw sentinel comparison
+        # on a wrap-around sequence value; see the seqno-arith lint rule).
+        self.last_dec_seq: Optional[int] = None
         self.period = 1e-6
         self.slow_start = True  # ramp like UDT until the first loss
         self.increases = 0
@@ -74,7 +76,10 @@ class SabulCC(CongestionControl):
             self.slow_start = False
             rate = ctx.recv_rate
             self.period = 1.0 / rate if rate > 0 else self.config.syn
-        if self.last_dec_seq < 0 or seq_cmp(loss.biggest_seq, self.last_dec_seq) > 0:
+        if (
+            self.last_dec_seq is None
+            or seq_cmp(loss.biggest_seq, self.last_dec_seq) > 0
+        ):
             self.period *= DECREASE_FACTOR
             self.last_dec_seq = ctx.max_seq_sent
             self.decreases += 1

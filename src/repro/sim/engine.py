@@ -4,7 +4,9 @@ A single-threaded event loop over a binary heap.  Events scheduled for the
 same instant fire in FIFO order (a monotone tie-break counter guarantees
 determinism), which the protocol agents rely on — e.g. an ACK that arrives
 at the same instant a retransmission timer expires must be processed first
-if it was scheduled first.
+if it was scheduled first.  The tie-break order is perturbable
+(``tie_break="lifo"`` / ``REPRO_TIE_BREAK=lifo``) so the determinism
+sanitizer can verify that *causally unrelated* same-time events commute.
 
 The engine is the hot path of every experiment, so the inner loop avoids
 attribute lookups and allocates nothing beyond the events themselves.
@@ -14,9 +16,23 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import random
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
+
+#: Same-instant tie-break orders.  "fifo" (the default, and the property
+#: agents may rely on) fires equal-time events in scheduling order;
+#: "lifo" reverses it.  LIFO exists for the determinism sanitizer
+#: (repro.analysis.sanitizer), which runs an experiment under both
+#: orders: any outcome difference means some component depends on the
+#: incidental interleaving of *causally unrelated* same-time events.
+TIE_BREAKS = ("fifo", "lifo")
+
+#: Environment override consulted when Simulator(tie_break=None); lets
+#: the sanitizer perturb whole experiment runs without plumbing a flag
+#: through every topology/flow constructor.
+TIE_BREAK_ENV = "REPRO_TIE_BREAK"
 
 
 def format_vtime(t: float) -> str:
@@ -78,10 +94,24 @@ class Simulator:
         behaviour in the substrate (BER loss, RED drops, jittered app
         starts) draws from this stream, so a run is reproducible from its
         seed alone.
+    tie_break:
+        Order for events scheduled at the same instant: ``"fifo"``
+        (default) or ``"lifo"`` (reversed; used by the determinism
+        sanitizer to flush out hidden ordering dependence).  ``None``
+        reads the ``REPRO_TIE_BREAK`` environment variable, falling back
+        to FIFO.
     """
 
-    def __init__(self, seed: Optional[int] = 0):
+    def __init__(self, seed: Optional[int] = 0, tie_break: Optional[str] = None):
+        if tie_break is None:
+            tie_break = os.environ.get(TIE_BREAK_ENV, "fifo")
+        if tie_break not in TIE_BREAKS:
+            raise ValueError(f"tie_break must be one of {TIE_BREAKS}, got {tie_break!r}")
         self.now: float = 0.0
+        self.tie_break = tie_break
+        # FIFO pushes (time, +seq, ev); LIFO negates the tie counter so
+        # equal-time events pop in reverse scheduling order.
+        self._tie_sign = 1 if tie_break == "fifo" else -1
         # Heap entries are (time, seq, Event) tuples: ordering never has to
         # look at the Event object, so comparisons stay in C.
         self._heap: list[tuple] = []
@@ -103,7 +133,7 @@ class Simulator:
             raise ValueError(f"cannot schedule into the past: {time} < {self.now}")
         seq = next(self._counter)
         ev = Event(time, seq, fn, args)
-        heapq.heappush(self._heap, (time, seq, ev))
+        heapq.heappush(self._heap, (time, self._tie_sign * seq, ev))
         return ev
 
     # -- execution -----------------------------------------------------

@@ -5,6 +5,12 @@ every segment is MSS bytes on the wire except a final partial one.  The
 sender implements slow start, congestion avoidance via a pluggable
 response function, RFC 6675-flavoured SACK loss recovery and an RFC 6298
 RTO with exponential backoff and Karn's rule.
+
+Sequence numbers here are plain unbounded Python integers compared with
+raw ``<``/``>``/``-`` — by design.  Unlike UDT's 31-bit wrapping space
+(``repro.udt.seqno``), NS-2-style TCP never wraps, so ordinary integer
+arithmetic is exact and the ``seqno-arith`` lint rule deliberately
+excludes ``repro/tcp/`` from its scope (see docs/ANALYSIS.md).
 """
 
 from __future__ import annotations

@@ -192,7 +192,8 @@ class ReceiveBuffer:
         if not self.accepts(seq):
             return False  # no room — dropped as if the NIC queue overflowed
         # Speculation: the receiver always guesses the largest-seen + 1.
-        if seq == self._speculated:
+        # Identity (not ordering) of two in-range seqs is wrap-safe.
+        if seq == self._speculated:  # lint: disable=seqno-arith
             self.speculation_hits += 1
         else:
             self.speculation_misses += 1

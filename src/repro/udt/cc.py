@@ -148,7 +148,9 @@ class UdtNativeCC(CongestionControl):
         super().__init__(config)
         self.slow_start = True
         self.last_dec_period = self.period
-        self.last_dec_seq = -1
+        # None until the first decrease (a -1 sentinel would need raw
+        # integer comparison, which seqno-arith forbids on seq values).
+        self.last_dec_seq: Optional[int] = None
         self.last_rc_time = 0.0
         self.last_ack_seq = 0
         self.decreases = 0
@@ -231,7 +233,10 @@ class UdtNativeCC(CongestionControl):
         assert ctx is not None, "controller not initialised"
         if self.slow_start:
             self._exit_slow_start()
-        if self.last_dec_seq < 0 or seq_cmp(loss.biggest_seq, self.last_dec_seq) > 0:
+        if (
+            self.last_dec_seq is None
+            or seq_cmp(loss.biggest_seq, self.last_dec_seq) > 0
+        ):
             # Fresh congestion: packets sent after the previous decrease
             # are being lost.  Apply formula (3) and freeze one SYN.
             self.last_dec_period = self.period

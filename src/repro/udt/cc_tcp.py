@@ -38,7 +38,9 @@ class TcpOverUdtCC(CongestionControl):
         self.ssthresh = float(1 << 20)
         self.period = 0.0  # purely window-limited, like TCP
         self.last_ack_seq = 0
-        self.last_dec_seq = -1
+        # None until the first decrease (avoids raw sentinel comparison
+        # on a wrap-around sequence value; see the seqno-arith lint rule).
+        self.last_dec_seq: Optional[int] = None
         self._rtt_mark = 0
 
     @property
@@ -69,7 +71,10 @@ class TcpOverUdtCC(CongestionControl):
         assert ctx is not None
         # One multiplicative decrease per congestion epoch, like NewReno's
         # recover guard (and UDT's own §3.3 rule).
-        if self.last_dec_seq >= 0 and seq_cmp(loss.biggest_seq, self.last_dec_seq) <= 0:
+        if (
+            self.last_dec_seq is not None
+            and seq_cmp(loss.biggest_seq, self.last_dec_seq) <= 0
+        ):
             return
         self.last_dec_seq = ctx.max_seq_sent
         override = self.response.ssthresh_after_loss(_SenderShim(self))

@@ -590,7 +590,9 @@ class UdtCore:
             return
         first_hole = self.rcv_loss.first()
         ack_seq = first_hole if first_hole is not None else seq_inc(self.lrsn)
-        if ack_seq == self._last_ack_seq_sent and self._data_since_ack == 0:
+        # Identity (not ordering) of two in-range seqs is wrap-safe: this
+        # only suppresses a duplicate ACK, never orders the space.
+        if ack_seq == self._last_ack_seq_sent and self._data_since_ack == 0:  # lint: disable=seqno-arith
             return
         self._data_since_ack = 0
         self._last_ack_seq_sent = ack_seq

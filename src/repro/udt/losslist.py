@@ -22,7 +22,7 @@ from bisect import bisect_left, bisect_right
 from typing import Iterator, List, Optional, Tuple
 
 from repro.udt.params import MAX_SEQ_NO
-from repro.udt.seqno import seq_off
+from repro.udt.seqno import seq_inc, seq_off, valid_seq
 
 
 class _Unwrapper:
@@ -36,7 +36,7 @@ class _Unwrapper:
         self._initialized = False
 
     def to_abs(self, seq: int) -> int:
-        if not 0 <= seq < MAX_SEQ_NO:
+        if not valid_seq(seq):
             raise ValueError(f"sequence number {seq} out of range")
         if not self._initialized:
             self._initialized = True
@@ -301,7 +301,7 @@ class NaiveLossList:
         n = seq_off(seq1, seq2) + 1
         before = len(self._lost)
         for i in range(n):
-            self._lost.add((seq1 + i) % MAX_SEQ_NO)
+            self._lost.add(seq_inc(seq1, i))
         return len(self._lost) - before
 
     def remove_upto(self, seq: int) -> int:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.udt.params import MAX_SEQ_NO
-from repro.udt.seqno import seq_off
+from repro.udt.seqno import seq_off, valid_seq
 
 #: The range flag occupies the bit excluded from the sequence space.
 RANGE_FLAG = MAX_SEQ_NO  # 0x80000000
@@ -22,7 +22,7 @@ def encode(ranges: Iterable[Tuple[int, int]]) -> List[int]:
     """Encode inclusive (first, last) loss ranges into report words."""
     words: List[int] = []
     for first, last in ranges:
-        if not (0 <= first < MAX_SEQ_NO and 0 <= last < MAX_SEQ_NO):
+        if not (valid_seq(first) and valid_seq(last)):
             raise ValueError(f"sequence number out of range: ({first}, {last})")
         span = seq_off(first, last)
         if span < 0:

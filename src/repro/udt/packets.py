@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import ClassVar, List, Optional, Tuple
 
 from repro.udt.params import MAX_SEQ_NO, UDT_HEADER
+from repro.udt.seqno import valid_seq
 
 _CTRL_BIT = 1 << 31
 _HDR = struct.Struct("!IIII")
@@ -33,7 +34,7 @@ ACK2 = 6
 
 
 def _check_seq(seq: int) -> int:
-    if not 0 <= seq < MAX_SEQ_NO:
+    if not valid_seq(seq):
         raise ValueError(f"bad sequence number {seq}")
     return seq
 

@@ -1,0 +1,515 @@
+"""Tests for the protocol-invariant static analysis suite (repro.analysis)."""
+
+import json
+
+import pytest
+
+from repro.analysis import all_checkers, rule_ids, run_analysis
+from repro.analysis.baseline import compare, load_baseline, write_baseline
+from repro.analysis.core import Finding, default_root, repo_root, run_checkers
+from repro.analysis.event_schema import EventSchemaChecker
+from repro.analysis.sanitizer import Divergence, SanitizerResult, diff_traces
+from repro.analysis.sansio import SansioPurityChecker
+from repro.analysis.seqno_arith import SeqnoArithChecker
+from repro.analysis.vtime import VtimeDeterminismChecker
+
+
+def _tree(tmp_path, files):
+    """Materialise {relpath: source} under tmp_path; returns the root."""
+    for rel, src in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(src)
+    return tmp_path
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+# -- self-hosting gate ----------------------------------------------------
+
+
+def test_self_hosting_tree_matches_baseline():
+    """The full checker suite over src/repro must match the checked-in
+    baseline exactly — no new findings, no stale baseline entries."""
+    findings = run_analysis()
+    root = repo_root()
+    assert root is not None, "tests must run from the source checkout"
+    baseline = load_baseline(root / "analysis" / "baseline.json")
+    cmp = compare(findings, baseline)
+    assert cmp.new == [], "new lint findings:\n" + "\n".join(
+        f.format() for f in cmp.new
+    )
+    assert cmp.fixed == [], "stale baseline entries:\n" + "\n".join(
+        f.format() for f in cmp.fixed
+    )
+
+
+def test_rule_ids_cover_all_checkers():
+    assert sorted(rule_ids()) == [
+        "event-schema",
+        "sansio-purity",
+        "seqno-arith",
+        "vtime-determinism",
+    ]
+
+
+# -- seqno-arith ----------------------------------------------------------
+
+
+def test_seqno_arith_flags_raw_compare(tmp_path):
+    root = _tree(
+        tmp_path,
+        {"udt/x.py": "def f(a_seq, b_seq):\n    return a_seq < b_seq\n"},
+    )
+    findings = run_checkers(root, [SeqnoArithChecker()])
+    assert _rules(findings) == ["seqno-arith"]
+    assert "seq_cmp" in findings[0].message
+
+
+def test_seqno_arith_flags_raw_arith_and_aliases(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "def f(self, n):\n"
+                "    a = self.lrsn + 1\n"
+                "    b = self.ack_seq - n\n"
+                "    return a, b\n"
+            )
+        },
+    )
+    findings = run_checkers(root, [SeqnoArithChecker()])
+    assert _rules(findings) == ["seqno-arith", "seqno-arith"]
+
+
+def test_seqno_arith_scope_excludes_tcp_and_seqno_module(tmp_path):
+    src = "def f(a_seq, b_seq):\n    return a_seq - b_seq\n"
+    root = _tree(
+        tmp_path,
+        {"tcp/x.py": src, "udt/seqno.py": src, "obs/x.py": src},
+    )
+    assert run_checkers(root, [SeqnoArithChecker()]) == []
+
+
+def test_seqno_arith_ignores_space_size_constants(tmp_path):
+    root = _tree(
+        tmp_path,
+        {"udt/x.py": "def f(w, MAX_SEQ_NO):\n    return w & (MAX_SEQ_NO - 1)\n"},
+    )
+    assert run_checkers(root, [SeqnoArithChecker()]) == []
+
+
+def test_line_suppression(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "def f(a_seq, b_seq):\n"
+                "    return a_seq == b_seq  # lint: disable=seqno-arith\n"
+            )
+        },
+    )
+    assert run_checkers(root, [SeqnoArithChecker()]) == []
+
+
+def test_file_suppression(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "# lint: disable-file=seqno-arith\n"
+                "def f(a_seq, b_seq):\n"
+                "    return a_seq < b_seq\n"
+                "def g(a_seq, b_seq):\n"
+                "    return a_seq > b_seq\n"
+            )
+        },
+    )
+    assert run_checkers(root, [SeqnoArithChecker()]) == []
+
+
+def test_rule_filter(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "import socket\n"
+                "def f(a_seq, b_seq):\n"
+                "    return a_seq < b_seq\n"
+            )
+        },
+    )
+    both = run_checkers(root, [SeqnoArithChecker(), SansioPurityChecker()])
+    assert sorted(_rules(both)) == ["sansio-purity", "seqno-arith"]
+    only = run_checkers(
+        root, [SeqnoArithChecker(), SansioPurityChecker()], rules=["seqno-arith"]
+    )
+    assert _rules(only) == ["seqno-arith"]
+
+
+def test_parse_error_is_a_finding(tmp_path):
+    root = _tree(tmp_path, {"udt/x.py": "def f(:\n"})
+    findings = run_checkers(root, [SeqnoArithChecker()])
+    assert _rules(findings) == ["parse-error"]
+
+
+# -- sansio-purity --------------------------------------------------------
+
+
+def test_sansio_flags_wall_clock_and_sockets(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "import time\n"
+                "import socket\n"
+                "def f():\n"
+                "    return time.time()\n"
+            )
+        },
+    )
+    findings = run_checkers(root, [SansioPurityChecker()])
+    assert _rules(findings) == ["sansio-purity"] * 3
+
+
+def test_sansio_flags_unseeded_randomness(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "sim/x.py": (
+                "import random\n"
+                "def f():\n"
+                "    r = random.Random()\n"
+                "    return random.random()\n"
+            )
+        },
+    )
+    findings = run_checkers(root, [SansioPurityChecker()])
+    msgs = " | ".join(f.message for f in findings)
+    assert len(findings) == 2
+    assert "unseeded" in msgs and "Simulator.rng" in msgs
+
+
+def test_sansio_allows_seeded_random_and_engine_profiling(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "sim/engine.py": (
+                "from time import perf_counter\n"
+                "import random\n"
+                "def f(seed):\n"
+                "    return random.Random(seed), perf_counter()\n"
+            )
+        },
+    )
+    assert run_checkers(root, [SansioPurityChecker()]) == []
+
+
+def test_sansio_scope_excludes_live(tmp_path):
+    src = "import socket\nimport time\n"
+    root = _tree(tmp_path, {"live/x.py": src, "obs/prof.py": src})
+    assert run_checkers(root, [SansioPurityChecker()]) == []
+
+
+# -- vtime-determinism ----------------------------------------------------
+
+
+def test_vtime_flags_float_equality(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "sim/x.py": (
+                "def f(t0, t1, deadline):\n"
+                "    if t0 == t1:\n"
+                "        return 1\n"
+                "    return deadline != 0.25\n"
+            )
+        },
+    )
+    findings = run_checkers(root, [VtimeDeterminismChecker()])
+    assert _rules(findings) == ["vtime-determinism"] * 2
+
+
+def test_vtime_allows_nan_idiom_none_and_nontime(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "sim/x.py": (
+                "def f(self, t, tap):\n"
+                "    a = t != t\n"  # NaN test
+                "    b = t == None\n"  # sentinel
+                "    c = [x for x in self.taps if x != tap]\n"  # objects
+                "    return a, b, c\n"
+            )
+        },
+    )
+    assert run_checkers(root, [VtimeDeterminismChecker()]) == []
+
+
+def test_vtime_flags_scheduling_from_set_iteration(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "def f(self, pending):\n"
+                "    for seq in set(pending):\n"
+                "        self.sim.schedule(0.1, self.retx, seq)\n"
+                "    for seq in sorted(pending):\n"
+                "        self.sim.schedule(0.1, self.retx, seq)\n"
+            )
+        },
+    )
+    findings = run_checkers(root, [VtimeDeterminismChecker()])
+    assert _rules(findings) == ["vtime-determinism"]
+    assert "sorted" in findings[0].message
+
+
+def test_vtime_flags_dict_keys_feeding_timer(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "sim/x.py": (
+                "def f(self, timers):\n"
+                "    for k in timers.keys():\n"
+                "        timers[k].restart(0.01)\n"
+            )
+        },
+    )
+    findings = run_checkers(root, [VtimeDeterminismChecker()])
+    assert _rules(findings) == ["vtime-determinism"]
+
+
+# -- event-schema ---------------------------------------------------------
+
+
+def test_event_schema_flags_undeclared_kind(tmp_path):
+    root = _tree(
+        tmp_path,
+        {"udt/x.py": 'def f(bus, t):\n    bus.emit("no.such.event", t, "s")\n'},
+    )
+    findings = run_checkers(root, [EventSchemaChecker()])
+    assert any(
+        f.rule == "event-schema" and "never declared" in f.message for f in findings
+    )
+
+
+def test_event_schema_flags_missing_required_key(tmp_path):
+    # The CI gate: deleting a required key from a producer emit fails lint.
+    root = _tree(
+        tmp_path,
+        {"udt/x.py": 'def f(bus, t):\n    bus.emit("cc.decrease", t, "s")\n'},
+    )
+    findings = run_checkers(root, [EventSchemaChecker()])
+    assert any(
+        "missing required key 'trigger'" in f.message for f in findings
+    ), [f.message for f in findings]
+
+
+def test_event_schema_flags_undeclared_key(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "def f(bus, t):\n"
+                '    bus.emit("cc.decrease", t, "s", trigger="nak", bogus=1)\n'
+            )
+        },
+    )
+    findings = run_checkers(root, [EventSchemaChecker()])
+    assert any("undeclared key 'bogus'" in f.message for f in findings)
+
+
+def test_event_schema_clean_emit_passes(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "def f(bus, t):\n"
+                '    bus.emit("cc.decrease", t, "s", trigger="nak", period=1.0)\n'
+            )
+        },
+    )
+    findings = run_checkers(root, [EventSchemaChecker()])
+    # Only catalog-hygiene warnings for the other (unemitted) kinds.
+    assert all(f.severity == "warning" for f in findings)
+
+
+def test_event_schema_flags_consumer_of_unproduced_key(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "def f(bus, t):\n"
+                '    bus.emit("cc.decrease", t, "s", trigger="nak")\n'
+            ),
+            "obs/report.py": (
+                "def g(rec, kind):\n"
+                '    if kind == "cc.decrease":\n'
+                '        return rec["window"]\n'
+            ),
+        },
+    )
+    findings = run_checkers(root, [EventSchemaChecker()])
+    assert any(
+        "no emit site produces" in f.message and f.path == "obs/report.py"
+        for f in findings
+    ), [f.message for f in findings]
+
+
+# -- baseline -------------------------------------------------------------
+
+
+def _mk(rule, path, msg, line=1):
+    return Finding(rule, path, line, 0, "error", msg)
+
+
+def test_baseline_classification():
+    base = [_mk("r", "a.py", "m1", line=10), _mk("r", "a.py", "m2")]
+    now = [_mk("r", "a.py", "m1", line=99), _mk("r", "b.py", "m3")]
+    cmp = compare(now, base)
+    assert [f.message for f in cmp.baselined] == ["m1"]  # line drift ok
+    assert [f.message for f in cmp.new] == ["m3"]
+    assert [f.message for f in cmp.fixed] == ["m2"]
+    assert not cmp.gate_passed
+
+
+def test_baseline_multiset_semantics():
+    base = [_mk("r", "a.py", "m")]
+    now = [_mk("r", "a.py", "m"), _mk("r", "a.py", "m")]
+    cmp = compare(now, base)
+    assert len(cmp.baselined) == 1 and len(cmp.new) == 1
+
+
+def test_baseline_roundtrip(tmp_path):
+    path = tmp_path / "analysis" / "baseline.json"
+    findings = [_mk("r", "a.py", "m", line=7)]
+    write_baseline(path, findings)
+    assert load_baseline(path) == findings
+    doc = json.loads(path.read_text())
+    assert doc["kind"] == "lint.baseline" and doc["schema"] == 1
+
+
+def test_baseline_rejects_foreign_json(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"kind": "something.else", "schema": 1}')
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+# -- sanitizer trace diff -------------------------------------------------
+
+_META = '{"kind": "trace.meta", "schema": 1}'
+
+
+def _write_trace(path, lines):
+    path.write_text("\n".join([_META] + lines) + "\n")
+
+
+def test_diff_traces_identical(tmp_path):
+    events = ['{"t": 0.0, "kind": "pkt.snd", "seq": %d}' % i for i in range(10)]
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    _write_trace(a, events)
+    _write_trace(b, events)
+    n, div = diff_traces(a, b)
+    assert n == 10 and div is None
+
+
+def test_diff_traces_reports_first_divergence_with_context(tmp_path):
+    events = ['{"t": 0.0, "kind": "pkt.snd", "seq": %d}' % i for i in range(10)]
+    mutated = list(events)
+    mutated[7] = '{"t": 0.0, "kind": "pkt.snd", "seq": 777}'
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    _write_trace(a, events)
+    _write_trace(b, mutated)
+    _, div = diff_traces(a, b)
+    assert div is not None and div.index == 7
+    assert '"seq": 7' in div.line_a and '"seq": 777' in div.line_b
+    assert div.context == events[2:7]
+    text = div.format()
+    assert "A(fifo)" in text and "seq=777" in text
+
+
+def test_diff_traces_length_mismatch(tmp_path):
+    events = ['{"t": 0.0, "kind": "pkt.snd", "seq": %d}' % i for i in range(3)]
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    _write_trace(a, events)
+    _write_trace(b, events[:2])
+    _, div = diff_traces(a, b)
+    assert div is not None and div.index == 2 and div.line_b is None
+    assert "<end of trace>" in div.format()
+
+
+def test_diff_traces_rejects_headerless_file(tmp_path):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    a.write_text('{"t": 0.0}\n')
+    _write_trace(b, [])
+    with pytest.raises(ValueError):
+        diff_traces(a, b)
+
+
+def test_sanitizer_result_json_shape(tmp_path):
+    div = Divergence(index=3, line_a="x", line_b="y", context=["c"])
+    res = SanitizerResult("fig02", False, 3, divergence=div)
+    d = res.to_dict()
+    assert d["kind"] == "lint.sanitize" and not d["deterministic"]
+    assert d["divergence"]["index"] == 3
+    ok = SanitizerResult("fig02", True, 100)
+    assert "OK" in ok.format() and "DIVERGED" in res.format()
+
+
+# -- CLI ------------------------------------------------------------------
+
+
+def test_cli_lint_json_roundtrip(tmp_path, capsys):
+    from repro.analysis.cli import main
+
+    rc = main(["--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["kind"] == "lint.report" and payload["gate_passed"]
+    # Round-trip: the JSON findings parse back through the baseline codec.
+    for bucket in ("new", "baselined", "fixed"):
+        for d in payload[bucket]:
+            Finding.from_dict(d)
+
+
+def test_cli_lint_detects_new_finding(tmp_path, capsys):
+    from repro.analysis.cli import main
+
+    _tree(
+        tmp_path,
+        {"udt/x.py": "def f(a_seq, b_seq):\n    return a_seq < b_seq\n"},
+    )
+    rc = main(["--root", str(tmp_path), "--baseline", str(tmp_path / "b.json")])
+    out = capsys.readouterr().out
+    assert rc == 1 and "seqno-arith" in out and "1 new" in out
+
+
+def test_cli_write_baseline_then_gate(tmp_path, capsys):
+    from repro.analysis.cli import main
+
+    _tree(
+        tmp_path,
+        {"udt/x.py": "def f(a_seq, b_seq):\n    return a_seq < b_seq\n"},
+    )
+    bl = str(tmp_path / "b.json")
+    assert main(["--root", str(tmp_path), "--baseline", bl, "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert main(["--root", str(tmp_path), "--baseline", bl]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_cli_unknown_rule_errors():
+    from repro.analysis.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["--rule", "no-such-rule"])
+
+
+def test_repro_udt_lint_subcommand(capsys):
+    from repro.cli import main
+
+    assert main(["lint"]) == 0
+    assert "0 new" in capsys.readouterr().out

@@ -179,3 +179,42 @@ def test_now_str_formats():
     sim.run()
     assert sim.now_str() == "2.250s"
     assert format_vtime(float("nan")) == "?"
+
+
+# -- perturbable same-instant tie-break (determinism sanitizer hook) -------
+
+
+def test_tie_break_fifo_default():
+    sim = Simulator()
+    assert sim.tie_break == "fifo"
+    out = []
+    for i in range(5):
+        sim.schedule_at(1.0, out.append, i)
+    sim.run()
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_tie_break_lifo_reverses_equal_time_only():
+    sim = Simulator(tie_break="lifo")
+    out = []
+    for i in range(5):
+        sim.schedule_at(1.0, out.append, i)
+    sim.schedule_at(2.0, out.append, 99)  # later time still fires last
+    sim.run()
+    assert out == [4, 3, 2, 1, 0, 99]
+
+
+def test_tie_break_env_override(monkeypatch):
+    from repro.sim.engine import TIE_BREAK_ENV
+
+    monkeypatch.setenv(TIE_BREAK_ENV, "lifo")
+    assert Simulator().tie_break == "lifo"
+    # An explicit argument beats the environment.
+    assert Simulator(tie_break="fifo").tie_break == "fifo"
+
+
+def test_tie_break_rejects_unknown_order():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Simulator(tie_break="random")

@@ -39,6 +39,20 @@ def test_wrap_around_range():
     assert decode(encode(ranges)) == ranges
 
 
+def test_wrap_boundary_roundtrip():
+    # The exact wrap edge: MAX_SEQ_NO-1 -> 0 as a two-element range.
+    ranges = [(MAX_SEQ_NO - 1, 0)]
+    words = encode(ranges)
+    assert words == [(MAX_SEQ_NO - 1) | RANGE_FLAG, 0]
+    assert decode(words) == ranges
+
+
+def test_wrap_boundary_singletons_roundtrip():
+    # MAX_SEQ_NO-1 and 0 reported as separate single losses.
+    ranges = [(MAX_SEQ_NO - 1, MAX_SEQ_NO - 1), (0, 0)]
+    assert decode(encode(ranges)) == ranges
+
+
 def test_reject_inverted_range():
     with pytest.raises(ValueError):
         encode([(10, 5)])

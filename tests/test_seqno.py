@@ -51,6 +51,34 @@ def test_valid_seq():
     assert not valid_seq(-1) and not valid_seq(MAX_SEQ_NO)
 
 
+def test_off_at_exactly_threshold():
+    # At exactly SEQ_THRESHOLD apart, the two directions are ambiguous;
+    # seq_off resolves both to -SEQ_THRESHOLD (the reference impl's
+    # convention: d >= threshold is treated as a backward distance).
+    assert seq_off(0, SEQ_THRESHOLD) == -SEQ_THRESHOLD
+    assert seq_off(SEQ_THRESHOLD, 0) == -SEQ_THRESHOLD
+    # One below the threshold is still an ordinary forward offset.
+    assert seq_off(0, SEQ_THRESHOLD - 1) == SEQ_THRESHOLD - 1
+
+
+def test_cmp_at_exactly_threshold():
+    # At exactly |a - b| == SEQ_THRESHOLD the wrap interpretation wins:
+    # the difference flips sign, so 0 counts as *after* SEQ_THRESHOLD.
+    # The edge stays antisymmetric: cmp(a, b) == -cmp(b, a).
+    assert seq_cmp(0, SEQ_THRESHOLD) == SEQ_THRESHOLD
+    assert seq_cmp(SEQ_THRESHOLD, 0) == -SEQ_THRESHOLD
+    # One below the threshold is still the plain ordering.
+    assert seq_cmp(0, SEQ_THRESHOLD - 1) < 0 < seq_cmp(SEQ_THRESHOLD - 1, 0)
+
+
+def test_len_at_exactly_threshold():
+    # Inclusive length of a run spanning exactly the threshold distance,
+    # with and without crossing the wrap point.
+    assert seq_len(0, SEQ_THRESHOLD) == SEQ_THRESHOLD + 1
+    base = MAX_SEQ_NO - 5
+    assert seq_len(base, seq_inc(base, SEQ_THRESHOLD)) == SEQ_THRESHOLD + 1
+
+
 @given(seqs, small)
 def test_offset_inverts_increment(base, step):
     assert seq_off(base, seq_inc(base, step)) == step
