@@ -58,12 +58,16 @@ def pytest_sessionfinish(session, exitstatus):
     if not _runtimes:
         return
     RESULTS_DIR.mkdir(exist_ok=True)
+    # Merge over the existing ledger: only "runtimes" keys this run
+    # produced are replaced.  Foreign top-level keys — notably the
+    # "sweeps" section repro-udt sweep maintains — pass through verbatim.
     data = {"schema": RUNTIME_SCHEMA, "kind": "bench.runtime", "runtimes": {}}
     if RUNTIME_PATH.exists():
         try:
             old = json.loads(RUNTIME_PATH.read_text())
             if old.get("schema") == RUNTIME_SCHEMA:
-                data["runtimes"].update(old.get("runtimes", {}))
+                data.update(old)
+                data["runtimes"] = dict(old.get("runtimes", {}))
         except (ValueError, OSError):
             pass  # corrupt/legacy file: rewrite from this run only
     for fig, rec in _runtimes.items():

@@ -59,10 +59,11 @@ class UdpBlast:
             return
         if now >= self._burst_end:
             if self.off_time > 0:
-                self.net.sim.schedule(self.off_time, self._start_burst)
+                self.net.sim.post(self.off_time, self._start_burst)
             else:
                 self._start_burst()
             return
         self.ep.sendto(("blast", self.pkts_sent), self.payload, self.dst)
         self.pkts_sent += 1
-        self.net.sim.schedule(self.interval, self._tick)
+        # Fire-and-forget: a tick per packet, never cancelled.
+        self.net.sim.post(self.interval, self._tick)

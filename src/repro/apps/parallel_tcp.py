@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.experiments.common import flow_start
 from repro.sim.node import Host
 from repro.sim.topology import Network
 from repro.tcp import TcpConfig, TcpFlow
@@ -51,7 +52,9 @@ class ParallelTcpTransfer:
                 config=config,
                 response=response_factory(),
                 nbytes=per_stream,
-                start=start,
+                # Staggered like any set of "concurrent" flows so the N
+                # handshakes never tie in virtual time (docs/ANALYSIS.md).
+                start=start + flow_start(i),
                 flow_id=f"{flow_id_prefix}-{i}",
             )
             for i in range(n_streams)

@@ -14,6 +14,13 @@
     repro-udt run fig02 --profile   # hot-path profile: where the wall
                                     # clock goes, written to
                                     # BENCH_profile_fig02.json
+    repro-udt sweep --jobs 8        # run every experiment in parallel
+                                    # worker processes with digest-keyed
+                                    # result caching (unchanged
+                                    # experiments are skipped); timings
+                                    # merge into BENCH_runtime.json
+    repro-udt sweep --only fig02,fig08 --scale 0.05 --force
+                                    # re-run a subset at smoke scale
     repro-udt report t.jsonl        # loss-forensics report from a trace
     repro-udt lint                  # protocol-invariant static analysis
                                     # over the repro tree (seqno-arith,
@@ -96,6 +103,36 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from pathlib import Path
+
+    from repro.runner.sweep import run_sweep, update_bench
+
+    only = None
+    if args.only:
+        only = [s for s in args.only.replace(" ", "").split(",") if s]
+    try:
+        report = run_sweep(
+            only=only,
+            jobs=args.jobs,
+            scale=args.scale,
+            cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+            force=args.force,
+            trace_dir=Path(args.trace_dir) if args.trace_dir else None,
+            trace_packets=args.trace_packets,
+            emit=print,
+        )
+    except KeyError as exc:
+        parser.error(str(exc.args[0]) if exc.args else str(exc))
+    print(report.to_text())
+    if not args.no_bench:
+        path = update_bench(
+            report, Path(args.bench) if args.bench else None
+        )
+        print(f"[sweep timings merged into {path}]")
+    return 0 if report.ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs.report import render_report, report_dict
     from repro.obs.spans import build_spans
@@ -173,6 +210,68 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="how many categories the printed profile shows (default 10)",
     )
 
+    sweepp = sub.add_parser(
+        "sweep",
+        help="run every experiment in parallel worker processes with "
+        "digest-keyed result caching; merges timings into "
+        "benchmarks/results/BENCH_runtime.json (see docs/PERFORMANCE.md)",
+    )
+    sweepp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to keep in flight (default 1)",
+    )
+    sweepp.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        metavar="S",
+        help="REPRO_SCALE for the workers (default: inherit, 0.3)",
+    )
+    sweepp.add_argument(
+        "--only",
+        default=None,
+        metavar="EXP,...",
+        help="comma-separated experiment ids to sweep (default: all)",
+    )
+    sweepp.add_argument(
+        "--force",
+        action="store_true",
+        help="ignore cache hits (results are still stored)",
+    )
+    sweepp.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    sweepp.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write per-experiment JSONL traces to DIR/<exp>.jsonl "
+        "(implies execution: trace runs never reuse the cache)",
+    )
+    sweepp.add_argument(
+        "--trace-packets",
+        action="store_true",
+        help="with --trace-dir, include per-packet lifecycle events",
+    )
+    sweepp.add_argument(
+        "--bench",
+        default=None,
+        metavar="PATH",
+        help="runtime ledger to merge into (default "
+        "benchmarks/results/BENCH_runtime.json)",
+    )
+    sweepp.add_argument(
+        "--no-bench",
+        action="store_true",
+        help="do not touch the runtime ledger",
+    )
+
     repp = sub.add_parser(
         "report",
         help="packet-lifecycle loss forensics from a JSONL trace "
@@ -207,6 +306,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{exp.description}"
             )
         return 0
+    if args.cmd == "sweep":
+        return _cmd_sweep(args, parser)
     if args.cmd == "report":
         return _cmd_report(args)
     if args.cmd == "lint":

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.apps.parallel_tcp import ParallelTcpTransfer
-from repro.experiments.common import ExperimentResult, mbps, scaled
+from repro.experiments.common import ExperimentResult, flow_start, mbps, scaled
 from repro.sim.topology import dumbbell, path_topology
 from repro.tcp import start_tcp_flow
 from repro.udt import UdtConfig, start_udt_flow
@@ -46,7 +46,11 @@ def run(
         """What a single standard TCP keeps next to the configuration."""
         d = dumbbell(2, rate_bps, rtt, seed=seed)
         maker(d)
-        comp = start_tcp_flow(d.net, d.sources[1], d.sinks[1], flow_id="victim")
+        # The striped transfer occupies the flow_start(0)-based slots;
+        # its stream count is bounded by max(streams), so 64 clears them.
+        comp = start_tcp_flow(
+            d.net, d.sources[1], d.sinks[1], start=flow_start(64), flow_id="victim"
+        )
         d.net.run(until=duration)
         return comp.throughput_bps(warm, duration)
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.common import ExperimentResult, mbps, scaled
+from repro.experiments.common import ExperimentResult, flow_start, mbps, scaled
 from repro.metrics import jain_index
 from repro.sabul import start_sabul_flow
 from repro.sim.topology import dumbbell, multi_bottleneck, path_topology
@@ -90,8 +90,8 @@ def run_syn(
         alone = f.throughput_bps(warm, duration)
 
         d = dumbbell(2, rate_bps, rtt, seed=seed)
-        start_udt_flow(d.net, d.sources[0], d.sinks[0], config=cfg)
-        tcp = start_tcp_flow(d.net, d.sources[1], d.sinks[1])
+        start_udt_flow(d.net, d.sources[0], d.sinks[0], config=cfg, start=flow_start(0))
+        tcp = start_tcp_flow(d.net, d.sources[1], d.sinks[1], start=flow_start(1))
         d.net.run(until=duration)
         res.add(syn * 1e3, mbps(alone), mbps(tcp.throughput_bps(warm, duration)))
     return res
@@ -156,12 +156,16 @@ def run_delay(
         if use_delay:
             u = UdtFlow(
                 d.net, d.sources[0], d.sinks[0],
-                cc_factory=DelayWarningCC, flow_id="u",
+                cc_factory=DelayWarningCC, start=flow_start(0), flow_id="u",
             )
             attach_delay_detection(u)
         else:
-            u = start_udt_flow(d.net, d.sources[0], d.sinks[0], flow_id="u")
-        t = start_tcp_flow(d.net, d.sources[1], d.sinks[1], flow_id="t")
+            u = start_udt_flow(
+                d.net, d.sources[0], d.sinks[0], start=flow_start(0), flow_id="u"
+            )
+        t = start_tcp_flow(
+            d.net, d.sources[1], d.sinks[1], start=flow_start(1), flow_id="t"
+        )
         d.net.run(until=duration)
         res.add(
             name,
@@ -195,8 +199,12 @@ def run_control_channel(
     warm = duration * 0.4
     for label, tcp_ctrl in (("UDP (UDT)", False), ("TCP-like (SABUL)", True)):
         d = dumbbell(2, rate_bps, rtt, queue_pkts=60, seed=seed)
-        f1 = start_udt_flow(d.net, d.sources[0], d.sinks[0], flow_id="a")
-        f2 = start_udt_flow(d.net, d.sources[1], d.sinks[1], flow_id="b")
+        f1 = start_udt_flow(
+            d.net, d.sources[0], d.sinks[0], start=flow_start(0), flow_id="a"
+        )
+        f2 = start_udt_flow(
+            d.net, d.sources[1], d.sinks[1], start=flow_start(1), flow_id="b"
+        )
         retx = 0
         if tcp_ctrl:
             chans = [attach_tcp_control_channel(f1), attach_tcp_control_channel(f2)]
@@ -220,9 +228,15 @@ def run_multibottleneck(
         duration = scaled(60.0, minimum=15.0)
     m = multi_bottleneck(n_hops, rate_bps, hop_rtt, seed=seed)
     cfg = UdtConfig(rcv_buffer_pkts=20000, snd_buffer_pkts=20000)
-    long_flow = start_udt_flow(m.net, m.sources[0], m.sinks[0], config=cfg, flow_id="long")
+    long_flow = start_udt_flow(
+        m.net, m.sources[0], m.sinks[0], config=cfg,
+        start=flow_start(0), flow_id="long",
+    )
     cross = [
-        start_udt_flow(m.net, m.sources[i + 1], m.sinks[i + 1], config=cfg, flow_id=f"x{i}")
+        start_udt_flow(
+            m.net, m.sources[i + 1], m.sinks[i + 1], config=cfg,
+            start=flow_start(i + 1), flow_id=f"x{i}",
+        )
         for i in range(n_hops)
     ]
     m.net.run(until=duration)

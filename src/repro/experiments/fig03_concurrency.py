@@ -10,7 +10,7 @@ from __future__ import annotations
 import math
 from typing import Optional, Sequence
 
-from repro.experiments.common import ExperimentResult, mbps, scaled
+from repro.experiments.common import ExperimentResult, flow_start, mbps, scaled
 from repro.sim.topology import dumbbell
 from repro.udt import start_udt_flow
 
@@ -41,7 +41,10 @@ def run(
         for n in counts:
             d = dumbbell(n, rate_bps, rtt, seed=seed)
             flows = [
-                start_udt_flow(d.net, d.sources[i], d.sinks[i], flow_id=f"f{i}")
+                start_udt_flow(
+                    d.net, d.sources[i], d.sinks[i],
+                    start=flow_start(i), flow_id=f"f{i}",
+                )
                 for i in range(n)
             ]
             d.net.run(until=duration)

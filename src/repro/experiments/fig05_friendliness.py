@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.common import ExperimentResult, scaled
+from repro.experiments.common import ExperimentResult, flow_start, scaled
 from repro.metrics import friendliness_index
 from repro.sim.topology import dumbbell
 from repro.tcp import start_tcp_flow
@@ -46,10 +46,16 @@ def run(
         d = dumbbell(total, rate_bps, rtt, seed=seed)
         tcp_flows = []
         for i in range(n_udt):
-            start_udt_flow(d.net, d.sources[i], d.sinks[i], flow_id=f"u{i}")
+            start_udt_flow(
+                d.net, d.sources[i], d.sinks[i],
+                start=flow_start(i), flow_id=f"u{i}",
+            )
         for i in range(n_udt, total):
             tcp_flows.append(
-                start_tcp_flow(d.net, d.sources[i], d.sinks[i], flow_id=f"t{i}")
+                start_tcp_flow(
+                    d.net, d.sources[i], d.sinks[i],
+                    start=flow_start(i), flow_id=f"t{i}",
+                )
             )
         d.net.run(until=duration)
         with_udt = [f.throughput_bps(warm, duration) for f in tcp_flows]
@@ -57,7 +63,10 @@ def run(
         # all-TCP control
         c = dumbbell(total, rate_bps, rtt, seed=seed + 1)
         control = [
-            start_tcp_flow(c.net, c.sources[i], c.sinks[i], flow_id=f"c{i}")
+            start_tcp_flow(
+                c.net, c.sources[i], c.sinks[i],
+                start=flow_start(i), flow_id=f"c{i}",
+            )
             for i in range(total)
         ]
         c.net.run(until=duration)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.apps.bulk import UdpBlast
-from repro.experiments.common import ExperimentResult, mbps, scaled
+from repro.experiments.common import ExperimentResult, flow_start, mbps, scaled
 from repro.sim.topology import bdp_packets, path_topology
 from repro.sim.udp import UdpEndpoint
 from repro.udt import UdtConfig, start_udt_flow
@@ -46,13 +46,15 @@ def run(
             rcv_buffer_pkts=4 * q,
             snd_buffer_pkts=4 * q,
         )
-        f = start_udt_flow(top.net, top.src, top.dst, config=cfg)
-        # Periodic competing burst at the bottleneck.
+        f = start_udt_flow(top.net, top.src, top.dst, config=cfg, start=flow_start(0))
+        # Periodic competing burst at the bottleneck (staggered like any
+        # other concurrent sender so its first packet never ties with a
+        # flow event in virtual time).
         cross = [n for n in top.net.nodes.values() if n.name == "cross0"][0]
         sink_ep = UdpEndpoint(top.dst, 9999)
         UdpBlast(
             top.net, cross, sink_ep.address, rate_bps=rate_bps * 0.6,
-            on_time=0.2, off_time=1.8, start=duration * 0.25,
+            on_time=0.2, off_time=1.8, start=duration * 0.25 + flow_start(1),
         )
         top.net.run(until=duration)
         series[label] = f.series(sample_interval, 0, duration)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.apps.bulk import UdpBlast
-from repro.experiments.common import ExperimentResult, scaled
+from repro.experiments.common import ExperimentResult, flow_start, scaled
 from repro.sim.topology import path_topology
 from repro.sim.udp import UdpEndpoint
 from repro.udt import UdtConfig, start_udt_flow
@@ -29,7 +29,7 @@ def collect_loss_events(
         duration = scaled(30.0, minimum=12.0)
     top = path_topology(rate_bps, rtt, seed=seed, cross_sources=1)
     cfg = UdtConfig(rcv_buffer_pkts=20000, snd_buffer_pkts=20000)
-    f = start_udt_flow(top.net, top.src, top.dst, config=cfg)
+    f = start_udt_flow(top.net, top.src, top.dst, config=cfg, start=flow_start(0))
     # Bursting UDP cross traffic straight into the bottleneck queue.
     cross = [n for n in top.net.nodes.values() if n.name == "cross0"][0]
     sink_ep = UdpEndpoint(top.dst, 9999)
@@ -44,7 +44,7 @@ def collect_loss_events(
         rate_bps=rate_bps * blast_fraction,
         on_time=0.10,
         off_time=0.90,
-        start=duration * 0.2,
+        start=duration * 0.2 + flow_start(1),
     )
     top.net.run(until=duration)
     return list(f.receiver.loss_events)

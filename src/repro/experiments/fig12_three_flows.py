@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.experiments.common import ExperimentResult, mbps, scaled
+from repro.experiments.common import ExperimentResult, flow_start, mbps, scaled
 from repro.sim.topology import Network, paper_queue_size
 from repro.tcp import start_tcp_flow
 from repro.udt import UdtConfig, start_udt_flow
@@ -54,14 +54,21 @@ def run(duration: Optional[float] = None, seed: int = 0) -> ExperimentResult:
     for kind in ("udt", "tcp"):
         net, src, sinks = build_star(seed=seed)
         flows = []
-        for (name, _, _), sink in zip(DESTS, sinks):
+        for i, ((name, _, _), sink) in enumerate(zip(DESTS, sinks)):
             if kind == "udt":
                 cfg = UdtConfig(rcv_buffer_pkts=20000, snd_buffer_pkts=20000)
                 flows.append(
-                    start_udt_flow(net, src, sink, config=cfg, flow_id=f"u-{name}")
+                    start_udt_flow(
+                        net, src, sink, config=cfg,
+                        start=flow_start(i), flow_id=f"u-{name}",
+                    )
                 )
             else:
-                flows.append(start_tcp_flow(net, src, sink, flow_id=f"t-{name}"))
+                flows.append(
+                    start_tcp_flow(
+                        net, src, sink, start=flow_start(i), flow_id=f"t-{name}"
+                    )
+                )
         net.run(until=duration)
         results[kind] = [f.throughput_bps(warm, duration) for f in flows]
     for i, (name, _, _) in enumerate(DESTS):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.common import ExperimentResult, mbps, scaled
+from repro.experiments.common import ExperimentResult, flow_start, mbps, scaled
 from repro.sim.topology import dumbbell
 from repro.tcp import start_tcp_flow
 from repro.udt import UdtConfig, start_udt_flow
@@ -33,7 +33,7 @@ def _measure(
         cfg = UdtConfig(rcv_buffer_pkts=20000, snd_buffer_pkts=20000)
         start_udt_flow(
             d.net, d.sources[concurrent_tcp + i], d.sinks[concurrent_tcp + i],
-            config=cfg, flow_id=f"udt{i}",
+            config=cfg, start=flow_start(i), flow_id=f"udt{i}",
         )
     # Each TCP "slot" runs back-to-back short transfers for the whole run;
     # the metric is aggregate delivered TCP bytes in the measurement

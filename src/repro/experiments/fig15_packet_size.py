@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.common import ExperimentResult, mbps, scaled
+from repro.experiments.common import ExperimentResult, flow_start, mbps, scaled
 from repro.sim.topology import path_topology
 from repro.udt import UdtConfig, start_udt_flow
 
@@ -43,7 +43,7 @@ def run(
             rate_bps, rtt, mtu=mtu, loss_rate=loss_rate, seed=seed
         )
         cfg = UdtConfig(mss=mss, rcv_buffer_pkts=40000, snd_buffer_pkts=40000)
-        f = start_udt_flow(top.net, top.src, top.dst, config=cfg)
+        f = start_udt_flow(top.net, top.src, top.dst, config=cfg, start=flow_start(0))
         top.net.run(until=duration)
         frags = -(-mss // mtu)
         res.add(mss, mbps(f.throughput_bps(warm, duration)), frags)

@@ -50,8 +50,10 @@ PROFILE_SCHEMA = 1
 #: back to ``"<module tail>.<qualname>"`` so new handlers are never
 #: silently lumped together.
 CATEGORY_MAP: Dict[tuple, str] = {
-    ("repro.sim.link", "Link._tx_done"): "link.transmit",
+    ("repro.sim.link", "Link._drain"): "link.transmit",
     ("repro.sim.node", "Node.receive"): "net.receive",
+    ("repro.sim.node", "Host.receive"): "net.receive",
+    ("repro.sim.node", "Router.receive"): "net.receive",
     ("repro.udt.core", "UdtCore._on_send_timer"): "cc.send_timer",
     ("repro.udt.core", "UdtCore._on_syn_timer"): "cc.syn_timer",
     ("repro.udt.core", "UdtCore._on_exp_timer"): "cc.exp_timer",
@@ -69,7 +71,7 @@ CATEGORY_MAP: Dict[tuple, str] = {
 
 #: What each category covers — rendered in the text report and docs.
 CATEGORY_NOTES: Dict[str, str] = {
-    "link.transmit": "link serialisation done: loss draw, propagation, next dequeue",
+    "link.transmit": "queue drain: next packet's serialisation start + loss draw",
     "net.receive": "packet arrival: forwarding + UDP dispatch + ACK/NAK/data processing",
     "cc.send_timer": "rate-controlled pacing tick: loss-list service + new data",
     "cc.syn_timer": "10ms SYN tick: ACK generation + NAK retransmission",

@@ -1,0 +1,352 @@
+"""The sweep orchestrator behind ``repro-udt sweep``.
+
+The parent process computes each experiment's digest, answers what it can
+from the :class:`~repro.runner.cache.ResultCache`, and fans the misses
+out to worker subprocesses (``python -m repro.runner --worker``), at most
+``--jobs`` in flight at once.  One fresh interpreter per experiment means
+workers share no RNG, event-bus or module state — results and traces are
+byte-identical whatever ``--jobs`` is, and a crash in one experiment
+cannot poison another.
+
+After the run the sweep merge-updates ``benchmarks/results/
+BENCH_runtime.json``: per-experiment wall times go under ``runtimes``
+(keyed by registry id) and the sweep itself under ``sweeps`` with its
+digest map, cache-hit count and per-experiment seconds — preserving every
+key the file already holds.  :func:`check_regressions` compares two such
+files and is the CI runtime-regression gate (docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.cache import ResultCache
+from repro.runner.digest import experiment_digest
+
+#: Default location of the merged runtime ledger, relative to the cwd.
+DEFAULT_BENCH = Path("benchmarks/results/BENCH_runtime.json")
+
+Emit = Callable[[str], None]
+
+
+@dataclass
+class SweepReport:
+    """What one sweep did: who ran, who hit cache, how long it all took."""
+
+    selector: str
+    scale: float
+    jobs: int
+    experiments: List[str]
+    seconds: float = 0.0
+    cached: List[str] = field(default_factory=list)
+    executed: List[str] = field(default_factory=list)
+    digests: Dict[str, str] = field(default_factory=dict)
+    exp_seconds: Dict[str, float] = field(default_factory=dict)
+    failures: Dict[str, str] = field(default_factory=dict)
+    corrupt_dropped: int = 0
+
+    @property
+    def key(self) -> str:
+        """The entry name this sweep writes under ``sweeps``."""
+        return f"{self.selector}|scale={self.scale:g}|jobs={self.jobs}"
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_text(self) -> str:
+        lines = [
+            f"== sweep {self.key}: {len(self.experiments)} experiments, "
+            f"{len(self.cached)} cached, {len(self.executed)} executed, "
+            f"{len(self.failures)} failed in {self.seconds:.1f}s =="
+        ]
+        for exp_id in self.experiments:
+            if exp_id in self.failures:
+                status = "FAILED"
+            elif exp_id in self.cached:
+                status = "cached"
+            else:
+                status = "ran"
+            sec = self.exp_seconds.get(exp_id)
+            timing = f"{sec:8.1f}s" if sec is not None else "        -"
+            lines.append(f"  {exp_id:<26} {timing}  {status}")
+        if self.corrupt_dropped:
+            lines.append(f"  [dropped {self.corrupt_dropped} corrupt cache entries]")
+        return "\n".join(lines)
+
+
+def select_experiments(only: Optional[Sequence[str]]) -> Tuple[str, List[str]]:
+    """Resolve an ``--only`` list to (selector label, registry ids)."""
+    from repro.experiments import get_experiment, list_experiments
+
+    if not only:
+        return "all", [e.exp_id for e in list_experiments()]
+    ids = []
+    for exp_id in only:
+        get_experiment(exp_id)  # raises KeyError with the known ids
+        if exp_id not in ids:
+            ids.append(exp_id)
+    return ",".join(ids), ids
+
+
+def _worker_cmd(
+    exp_id: str,
+    digest: str,
+    out_path: Path,
+    trace_path: Optional[Path],
+    trace_packets: bool,
+) -> List[str]:
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.runner",
+        "--worker",
+        exp_id,
+        "--digest",
+        digest,
+        "--out",
+        str(out_path),
+    ]
+    if trace_path is not None:
+        cmd += ["--trace", str(trace_path)]
+        if trace_packets:
+            cmd.append("--trace-packets")
+    return cmd
+
+
+def _worker_env(scale: float) -> Dict[str, str]:
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    env["REPRO_SCALE"] = format(scale, "g")
+    return env
+
+
+def _run_worker(
+    exp_id: str,
+    digest: str,
+    scale: float,
+    tmp_dir: Path,
+    trace_dir: Optional[Path],
+    trace_packets: bool,
+) -> Dict[str, Any]:
+    """Execute one experiment in a fresh interpreter; returns its entry."""
+    out_path = tmp_dir / f"{exp_id}.json"
+    trace_path = trace_dir / f"{exp_id}.jsonl" if trace_dir is not None else None
+    cmd = _worker_cmd(exp_id, digest, out_path, trace_path, trace_packets)
+    proc = subprocess.run(
+        cmd,
+        env=_worker_env(scale),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    if proc.returncode != 0:
+        tail = "\n".join(proc.stderr.strip().splitlines()[-8:])
+        raise RuntimeError(
+            f"worker for {exp_id} exited {proc.returncode}:\n{tail}"
+        )
+    with open(out_path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def run_sweep(
+    only: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    scale: Optional[float] = None,
+    cache_dir: Optional[Path] = None,
+    force: bool = False,
+    trace_dir: Optional[Path] = None,
+    trace_packets: bool = False,
+    emit: Optional[Emit] = None,
+) -> SweepReport:
+    """Run (or cache-skip) every selected experiment; returns the report.
+
+    ``trace_dir`` asks each worker to write ``<exp_id>.jsonl`` there; a
+    trace run always executes (a cache hit has no trace to hand back),
+    which is what makes ``--jobs 1`` vs ``--jobs N`` trace comparisons
+    meaningful.  ``force`` ignores cache hits but still stores results.
+    """
+    from repro.experiments.common import scale as env_scale
+
+    say: Emit = emit if emit is not None else (lambda s: None)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if scale is None:
+        scale = env_scale()
+    selector, ids = select_experiments(only)
+    cache = ResultCache(cache_dir)
+    report = SweepReport(selector=selector, scale=scale, jobs=jobs, experiments=ids)
+
+    t0 = time.perf_counter()
+    pending: List[str] = []
+    for exp_id in ids:
+        digest, _files = experiment_digest(exp_id, scale)
+        report.digests[exp_id] = digest
+        entry = None if (force or trace_dir is not None) else cache.load(digest)
+        if entry is not None:
+            report.cached.append(exp_id)
+            sec = entry.get("seconds")
+            if isinstance(sec, (int, float)):
+                report.exp_seconds[exp_id] = float(sec)
+            say(f"[sweep] {exp_id}: cache hit ({digest[:12]})")
+        else:
+            pending.append(exp_id)
+
+    if trace_dir is not None:
+        trace_dir.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-") as tmp:
+        tmp_dir = Path(tmp)
+        if pending:
+            say(
+                f"[sweep] running {len(pending)} experiment(s) at "
+                f"scale={scale:g} with jobs={jobs}"
+            )
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(
+                    _run_worker,
+                    exp_id,
+                    report.digests[exp_id],
+                    scale,
+                    tmp_dir,
+                    trace_dir,
+                    trace_packets,
+                ): exp_id
+                for exp_id in pending
+            }
+            for fut in as_completed(futures):
+                exp_id = futures[fut]
+                try:
+                    entry = fut.result()
+                except Exception as exc:  # worker crash: report, keep going
+                    report.failures[exp_id] = str(exc)
+                    say(f"[sweep] {exp_id}: FAILED ({exc})")
+                    continue
+                report.executed.append(exp_id)
+                sec = float(entry.get("seconds", 0.0))
+                report.exp_seconds[exp_id] = sec
+                cache.store(report.digests[exp_id], entry)
+                say(f"[sweep] {exp_id}: ran in {sec:.1f}s")
+    # registry order, not completion order
+    report.executed.sort(key=ids.index)
+    report.seconds = time.perf_counter() - t0
+    report.corrupt_dropped = cache.corrupt_dropped
+    return report
+
+
+# -- BENCH_runtime.json merge + regression gate -------------------------
+
+
+def _read_bench(path: Path) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+        if not isinstance(data, dict):
+            data = {}
+    except (FileNotFoundError, json.JSONDecodeError):
+        data = {}
+    data.setdefault("schema", 1)
+    data.setdefault("kind", "bench.runtime")
+    return data
+
+
+def update_bench(report: SweepReport, bench_path: Optional[Path] = None) -> Path:
+    """Merge this sweep's timings into the runtime ledger.
+
+    Only the keys this sweep owns are replaced; everything else in the
+    file (other sweeps, pytest-benchmark runtimes, foreign top-level
+    keys) is preserved verbatim.
+    """
+    path = Path(bench_path) if bench_path is not None else DEFAULT_BENCH
+    data = _read_bench(path)
+    runtimes = data.setdefault("runtimes", {})
+    for exp_id in report.executed:
+        runtimes[exp_id] = {
+            "seconds": round(report.exp_seconds[exp_id], 3),
+            "test": "repro-udt sweep",
+        }
+    sweeps = data.setdefault("sweeps", {})
+    sweeps[report.key] = {
+        "experiments": len(report.experiments),
+        "jobs": report.jobs,
+        "seconds": round(report.seconds, 3),
+        "cached": len(report.cached),
+        "digests": dict(report.digests),
+        "per_experiment": {
+            k: round(v, 3) for k, v in sorted(report.exp_seconds.items())
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def check_regressions(
+    current_path: Path,
+    baseline_path: Path,
+    key: Optional[str] = None,
+    threshold: float = 0.25,
+) -> Tuple[List[str], List[str]]:
+    """Compare per-experiment sweep timings between two runtime ledgers.
+
+    Returns ``(failures, lines)``: human-readable failure strings and a
+    full comparison log.  Ratios are normalised by their median before
+    the threshold is applied, so a uniformly slower machine (every figure
+    2x) does not trip the gate while a single experiment regressing does.
+    """
+    cur = _read_bench(Path(current_path)).get("sweeps", {})
+    base = _read_bench(Path(baseline_path)).get("sweeps", {})
+    keys = [key] if key else sorted(set(cur) & set(base))
+    failures: List[str] = []
+    lines: List[str] = []
+    compared = 0
+    for k in keys:
+        cur_pe = cur.get(k, {}).get("per_experiment") or {}
+        base_pe = base.get(k, {}).get("per_experiment") or {}
+        shared = sorted(set(cur_pe) & set(base_pe))
+        ratios = {
+            e: cur_pe[e] / base_pe[e] for e in shared if base_pe[e] > 0
+        }
+        if not ratios:
+            continue
+        compared += len(ratios)
+        ordered = sorted(ratios.values())
+        median = ordered[len(ordered) // 2]
+        lines.append(f"[gate] {k}: {len(ratios)} experiments, median ratio {median:.2f}")
+        for e, r in sorted(ratios.items()):
+            norm = r / median if median > 0 else r
+            mark = "REGRESSED" if norm > 1.0 + threshold else "ok"
+            lines.append(
+                f"[gate]   {e:<26} {base_pe[e]:8.1f}s -> {cur_pe[e]:8.1f}s "
+                f"(x{r:.2f}, normalised x{norm:.2f}) {mark}"
+            )
+            if norm > 1.0 + threshold:
+                failures.append(
+                    f"{k}: {e} regressed x{norm:.2f} normalised "
+                    f"({base_pe[e]:.1f}s -> {cur_pe[e]:.1f}s, threshold x{1 + threshold:.2f})"
+                )
+    if compared == 0:
+        failures.append(
+            f"no comparable sweep timings between {current_path} and "
+            f"{baseline_path}" + (f" for key {key!r}" if key else "")
+        )
+    return failures, lines

@@ -49,6 +49,13 @@ class ReliableInOrderChannel:
         self.rto = rto
         self._queue: deque[Any] = deque()
         self._busy = False
+        #: (arrival time, msg) pairs in flight, drained by a single pump
+        #: event.  In-order delivery is structural — one pump delivers
+        #: due messages in send order — rather than an artifact of N
+        #: same-instant deliver events and the engine's tie-break (which
+        #: the determinism sanitizer would flag).
+        self._in_flight: deque = deque()
+        self._pump_pending = False
         self.messages_sent = 0
         self.retransmissions = 0
         self.hol_blocked_time = 0.0
@@ -60,21 +67,32 @@ class ReliableInOrderChannel:
             self._service()
 
     def _service(self) -> None:
-        if not self._queue:
-            self._busy = False
-            return
         self._busy = True
-        msg = self._queue[0]
-        if self.sim.rng.random() < self.loss_probability():
-            # Lost on the wire: TCP retries after an RTO; everything
-            # queued behind this message waits (head-of-line blocking).
-            self.retransmissions += 1
-            self.hol_blocked_time += self.rto
-            self.sim.schedule(self.rto, self._service)
-            return
-        self._queue.popleft()
-        self.sim.schedule(self.delay, self.deliver, msg)
-        self.sim.schedule(0.0, self._service)
+        while self._queue:
+            msg = self._queue[0]
+            if self.sim.rng.random() < self.loss_probability():
+                # Lost on the wire: TCP retries after an RTO; everything
+                # queued behind this message waits (head-of-line blocking).
+                self.retransmissions += 1
+                self.hol_blocked_time += self.rto
+                self.sim.schedule(self.rto, self._service)
+                return
+            self._queue.popleft()
+            self._in_flight.append((self.sim.now + self.delay, msg))
+            if not self._pump_pending:
+                self._pump_pending = True
+                self.sim.schedule(self.delay, self._pump)
+        self._busy = False
+
+    def _pump(self) -> None:
+        self._pump_pending = False
+        now = self.sim.now
+        while self._in_flight and self._in_flight[0][0] <= now:
+            _due, msg = self._in_flight.popleft()
+            self.deliver(msg)
+        if self._in_flight and not self._pump_pending:
+            self._pump_pending = True
+            self.sim.schedule(self._in_flight[0][0] - now, self._pump)
 
 
 def attach_tcp_control_channel(flow, rto: float = CONTROL_RTO) -> dict:

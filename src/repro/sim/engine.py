@@ -18,6 +18,7 @@ import heapq
 import itertools
 import os
 import random
+from math import inf
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
@@ -112,8 +113,11 @@ class Simulator:
         # FIFO pushes (time, +seq, ev); LIFO negates the tie counter so
         # equal-time events pop in reverse scheduling order.
         self._tie_sign = 1 if tie_break == "fifo" else -1
-        # Heap entries are (time, seq, Event) tuples: ordering never has to
-        # look at the Event object, so comparisons stay in C.
+        # Heap entries come in two shapes, distinguished by length:
+        #   (time, seq, Event)      — cancellable, from schedule()/schedule_at()
+        #   (time, seq, fn, args)   — fire-and-forget, from post()/post_at()
+        # Ordering never has to look past (time, seq) — seq is unique — so
+        # comparisons stay in C for both shapes.
         self._heap: list[tuple] = []
         self._counter = itertools.count()
         self._running = False
@@ -125,7 +129,11 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        return self.schedule_at(self.now + delay, fn, *args)
+        time = self.now + delay
+        seq = next(self._counter)
+        ev = Event(time, seq, fn, args)
+        heapq.heappush(self._heap, (time, self._tie_sign * seq, ev))
+        return ev
 
     def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute virtual time ``time``."""
@@ -135,6 +143,28 @@ class Simulator:
         ev = Event(time, seq, fn, args)
         heapq.heappush(self._heap, (time, self._tie_sign * seq, ev))
         return ev
+
+    def post(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`Event`, no cancel.
+
+        The hot path for the millions of per-packet events (link
+        serialisation done, propagation arrival) that are never cancelled:
+        it skips the Event allocation entirely, which is a measurable
+        share of a long run's wall clock.  Ordering is identical to
+        ``schedule`` — both draw from the same tie-break counter.
+        """
+        heapq.heappush(
+            self._heap,
+            (self.now + delay, self._tie_sign * next(self._counter), fn, args),
+        )
+
+    def post_at(self, time: float, fn: Callable, *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at` (see :meth:`post`)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule into the past: {time} < {self.now}")
+        heapq.heappush(
+            self._heap, (time, self._tie_sign * next(self._counter), fn, args)
+        )
 
     # -- execution -----------------------------------------------------
     def run(self, until: Optional[float] = None) -> None:
@@ -146,14 +176,22 @@ class Simulator:
         """
         heap = self._heap
         pop = heapq.heappop
+        limit = inf if until is None else until
         self._running = True
         processed = 0
         try:
             while heap and self._running:
-                time = heap[0][0]
-                if until is not None and time > until:
+                entry = heap[0]
+                time = entry[0]
+                if time > limit:
                     break
-                ev = pop(heap)[2]
+                entry = pop(heap)
+                if len(entry) == 4:  # fire-and-forget fast path
+                    self.now = time
+                    processed += 1
+                    entry[2](*entry[3])
+                    continue
+                ev = entry[2]
                 if ev.cancelled:
                     continue
                 self.now = time
@@ -186,21 +224,27 @@ class Simulator:
         heap = self._heap
         pop = heapq.heappop
         timer_fire = Timer._fire
+        limit = inf if until is None else until
         self._running = True
         processed = 0
         try:
             while heap and self._running:
-                time = heap[0][0]
-                if until is not None and time > until:
+                entry = heap[0]
+                time = entry[0]
+                if time > limit:
                     break
-                ev = pop(heap)[2]
-                if ev.cancelled:
-                    continue
+                entry = pop(heap)
+                if len(entry) == 4:
+                    fn, args = entry[2], entry[3]
+                else:
+                    ev = entry[2]
+                    if ev.cancelled:
+                        continue
+                    fn, args = ev.fn, ev.args
                 self.now = time
                 processed += 1
-                fn = ev.fn
                 t0 = perf_counter()
-                fn(*ev.args)
+                fn(*args)
                 dt = perf_counter() - t0
                 key = getattr(fn, "__func__", fn)
                 if key is timer_fire:
@@ -229,7 +273,11 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _, _, ev in self._heap if not ev.cancelled)
+        return sum(
+            1
+            for entry in self._heap
+            if len(entry) == 4 or not entry[2].cancelled
+        )
 
 
 class Timer:

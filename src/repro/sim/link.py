@@ -84,7 +84,10 @@ class Link:
             raise ValueError("jitter must be in [0, 1]")
         self.jitter = jitter
         self.name = name or f"{src.id}->{dst.id}"
-        self._busy = False
+        # Lazy transmitter state: the wire is occupied until ``_busy_until``
+        # (virtual time); a single pending drain event services the queue.
+        self._busy_until = 0.0
+        self._drain_pending = False
         # stats
         self.bytes_sent = 0
         self.pkts_sent = 0
@@ -134,111 +137,180 @@ class Link:
             tap(kind, t, self, pkt)
 
     # -- data path ------------------------------------------------------
+    #
+    # The transmitter is *lazy*: instead of an end-of-serialisation event
+    # per packet (busy flag set/cleared by a ``_tx_done`` callback), the
+    # wire's occupancy is a timestamp.  A packet arriving at an idle link
+    # costs exactly ONE simulator event (its delivery at the far end);
+    # only packets that actually queue pay for a drain event.  At sweep
+    # scale this halves the event count on every uncongested hop.
     def send(self, pkt: Packet) -> bool:
         """Hand a packet to this link's egress; False if the queue drops it."""
-        if self._busy:
-            ok = self.queue.push(pkt)
-            if self.taps:
-                self._fire_taps(ENQUEUE if ok else DROP, pkt)
-            bus = self.bus
-            if bus.enabled:
-                if not ok:
-                    bus.emit(
-                        OB.LINK_DROP,
-                        self.sim.now,
+        sim = self.sim
+        if sim.now >= self._busy_until and not self.queue:
+            # Idle wire: serialisation starts immediately.
+            if self.taps or self.bus.detail:
+                # Instrumented: emit the enqueue, then share _transmit
+                # with the drain path.  Same RNG draw sites either way.
+                if self.taps:
+                    self._fire_taps(ENQUEUE, pkt)
+                if self.bus.detail:
+                    self.bus.emit(
+                        OB.LINK_ENQ,
+                        sim.now,
                         self.name,
-                        reason="queue",
-                        size=pkt.size,
+                        uid=pkt.uid,
                         flow=pkt.flow,
-                        qlen=len(self.queue),
+                        seq=getattr(pkt.payload, "seq", None),
+                        qlen=0,
+                    )
+                self._transmit(pkt)
+                return True
+            # Untraced fast path — the hottest lines in the simulator;
+            # _transmit is inlined to drop a frame per packet-hop.
+            now = sim.now
+            size = pkt.size
+            mtu = self.mtu
+            if mtu is None or size <= mtu:
+                nfrag = 1
+                wire = size
+            else:
+                nfrag = -(-size // mtu)
+                wire = size + (nfrag - 1) * FRAG_HEADER
+            tx = wire * 8.0 / self.rate_bps
+            if self.jitter:
+                tx *= 1.0 + self.jitter * (sim.rng.random() - 0.5)
+            self._busy_until = now + tx
+            self.bytes_sent += wire
+            self.pkts_sent += 1
+            if self.loss_rate > 0.0 and sim.rng.random() >= (
+                (1.0 - self.loss_rate) ** nfrag
+            ):
+                self.pkts_lost += 1
+                if self.bus.enabled:
+                    self.bus.emit(
+                        OB.LINK_DROP,
+                        now,
+                        self.name,
+                        reason="loss",
+                        size=size,
+                        flow=pkt.flow,
                         uid=pkt.uid,
                         seq=getattr(pkt.payload, "seq", None),
                     )
-                else:
-                    qlen = len(self.queue)
-                    if qlen > self._q_highwater:
-                        self._q_highwater = qlen
-                        bus.emit(
-                            OB.QUEUE_HIGHWATER,
-                            self.sim.now,
-                            self.name,
-                            pkts=qlen,
-                            bytes=self.queue.bytes,
-                        )
-                    if bus.detail:
-                        bus.emit(
-                            OB.LINK_ENQ,
-                            self.sim.now,
-                            self.name,
-                            uid=pkt.uid,
-                            flow=pkt.flow,
-                            seq=getattr(pkt.payload, "seq", None),
-                            qlen=qlen,
-                        )
-            return ok
+            else:
+                pkt.hops += 1
+                sim.post(tx + self.delay, self.dst.receive, pkt)
+            return True
+        ok = self.queue.push(pkt)
         if self.taps:
-            self._fire_taps(ENQUEUE, pkt)  # goes straight to the transmitter
-        if self.bus.detail:
-            self.bus.emit(
-                OB.LINK_ENQ,
-                self.sim.now,
-                self.name,
-                uid=pkt.uid,
-                flow=pkt.flow,
-                seq=getattr(pkt.payload, "seq", None),
-                qlen=0,
-            )
-        self._start_tx(pkt)
-        return True
+            self._fire_taps(ENQUEUE if ok else DROP, pkt)
+        bus = self.bus
+        if bus.enabled:
+            if not ok:
+                bus.emit(
+                    OB.LINK_DROP,
+                    sim.now,
+                    self.name,
+                    reason="queue",
+                    size=pkt.size,
+                    flow=pkt.flow,
+                    qlen=len(self.queue),
+                    uid=pkt.uid,
+                    seq=getattr(pkt.payload, "seq", None),
+                )
+            else:
+                qlen = len(self.queue)
+                if qlen > self._q_highwater:
+                    self._q_highwater = qlen
+                    bus.emit(
+                        OB.QUEUE_HIGHWATER,
+                        sim.now,
+                        self.name,
+                        pkts=qlen,
+                        bytes=self.queue.bytes,
+                    )
+                if bus.detail:
+                    bus.emit(
+                        OB.LINK_ENQ,
+                        sim.now,
+                        self.name,
+                        uid=pkt.uid,
+                        flow=pkt.flow,
+                        seq=getattr(pkt.payload, "seq", None),
+                        qlen=qlen,
+                    )
+        if ok and not self._drain_pending:
+            self._drain_pending = True
+            sim.post_at(self._busy_until, self._drain)
+        return ok
 
-    def _start_tx(self, pkt: Packet) -> None:
-        self._busy = True
-        tx = self.tx_time(pkt)
+    def _transmit(self, pkt: Packet) -> None:
+        """Start serialising ``pkt`` now (the caller guarantees an idle wire).
+
+        Hot path: wire_size/tx_time are inlined (one call per packet per
+        link adds up to minutes over a sweep).  The random-loss draw
+        happens at serialisation start so traced and untraced runs
+        consume the RNG stream identically.
+        """
+        sim = self.sim
+        now = sim.now
+        size = pkt.size
+        mtu = self.mtu
+        if mtu is None or size <= mtu:
+            nfrag = 1
+            wire = size
+        else:
+            nfrag = -(-size // mtu)
+            wire = size + (nfrag - 1) * FRAG_HEADER
+        tx = wire * 8.0 / self.rate_bps
         if self.jitter:
-            tx *= 1.0 + self.jitter * (self.sim.rng.random() - 0.5)
-        self.sim.schedule(tx, self._tx_done, pkt)
-
-    def _tx_done(self, pkt: Packet) -> None:
-        self.bytes_sent += self.wire_size(pkt)
+            tx *= 1.0 + self.jitter * (sim.rng.random() - 0.5)
+        self._busy_until = now + tx
+        self.bytes_sent += wire
         self.pkts_sent += 1
         if self.taps:
             self._fire_taps(DEQUEUE, pkt)
-        if self.bus.detail:
-            self.bus.emit(
+        bus = self.bus
+        if bus.detail:
+            bus.emit(
                 OB.LINK_DEQ,
-                self.sim.now,
+                now,
                 self.name,
                 uid=pkt.uid,
                 flow=pkt.flow,
                 seq=getattr(pkt.payload, "seq", None),
             )
         # Random (non-congestion) loss; any lost fragment loses the packet.
-        lost = False
-        if self.loss_rate > 0.0:
-            nfrag = self.fragments(pkt)
-            survive = (1.0 - self.loss_rate) ** nfrag
-            lost = self.sim.rng.random() >= survive
-        if lost:
+        if self.loss_rate > 0.0 and sim.rng.random() >= (
+            (1.0 - self.loss_rate) ** nfrag
+        ):
             self.pkts_lost += 1
-            if self.bus.enabled:
-                self.bus.emit(
+            if bus.enabled:
+                bus.emit(
                     OB.LINK_DROP,
-                    self.sim.now,
+                    now,
                     self.name,
                     reason="loss",
-                    size=pkt.size,
+                    size=size,
                     flow=pkt.flow,
                     uid=pkt.uid,
                     seq=getattr(pkt.payload, "seq", None),
                 )
         else:
             pkt.hops += 1
-            self.sim.schedule(self.delay, self.dst.receive, pkt)
-        nxt = self.queue.pop()
-        if nxt is not None:
-            self._start_tx(nxt)
-        else:
-            self._busy = False
+            sim.post(tx + self.delay, self.dst.receive, pkt)
+
+    def _drain(self) -> None:
+        """Serialise the next queued packet (fires at ``_busy_until``)."""
+        self._drain_pending = False
+        pkt = self.queue.pop()
+        if pkt is None:
+            return
+        self._transmit(pkt)
+        if self.queue:
+            self._drain_pending = True
+            self.sim.post_at(self._busy_until, self._drain)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Link {self.name} {self.rate_bps/1e6:.0f}Mb/s {self.delay*1e3:.2f}ms>"

@@ -14,6 +14,16 @@ from repro.sim.packet import Packet
 
 
 class Node:
+    __slots__ = (
+        "sim",
+        "id",
+        "name",
+        "routes",
+        "pkts_forwarded",
+        "pkts_delivered",
+        "pkts_unroutable",
+    )
+
     def __init__(self, sim: Simulator, node_id: int, name: str = ""):
         self.sim = sim
         self.id = node_id
@@ -23,15 +33,18 @@ class Node:
         self.pkts_delivered = 0
         self.pkts_unroutable = 0
 
+    # receive() runs once per packet per hop — the single hottest call in
+    # any experiment — so Host/Router override it with flattened bodies
+    # (no receive->deliver/forward call chain, no dst_node property).
     def receive(self, pkt: Packet) -> None:
-        if pkt.dst_node == self.id:
+        if pkt.dst[0] == self.id:
             self.pkts_delivered += 1
             self.deliver(pkt)
         else:
             self.forward(pkt)
 
     def forward(self, pkt: Packet) -> None:
-        link = self.routes.get(pkt.dst_node)
+        link = self.routes.get(pkt.dst[0])
         if link is None:
             self.pkts_unroutable += 1
             return
@@ -44,11 +57,11 @@ class Node:
 
     def send(self, pkt: Packet) -> bool:
         """Originate a packet from this node (loopback short-circuits)."""
-        if pkt.dst_node == self.id:
+        if pkt.dst[0] == self.id:
             # Local delivery still takes one event so callers never re-enter.
-            self.sim.schedule(0.0, self.receive, pkt)
+            self.sim.post(0.0, self.receive, pkt)
             return True
-        link = self.routes.get(pkt.dst_node)
+        link = self.routes.get(pkt.dst[0])
         if link is None:
             self.pkts_unroutable += 1
             return False
@@ -61,12 +74,29 @@ class Node:
 class Router(Node):
     """Pure store-and-forward node; delivering to a router is an error."""
 
+    __slots__ = ()
+
+    def receive(self, pkt: Packet) -> None:
+        dst_node = pkt.dst[0]
+        if dst_node == self.id:
+            self.pkts_delivered += 1
+            self.deliver(pkt)
+            return
+        link = self.routes.get(dst_node)
+        if link is None:
+            self.pkts_unroutable += 1
+            return
+        self.pkts_forwarded += 1
+        link.send(pkt)
+
     def deliver(self, pkt: Packet) -> None:
         raise RuntimeError(f"packet addressed to router {self.name}: {pkt!r}")
 
 
 class Host(Node):
     """End host: demultiplexes delivered packets to bound ports."""
+
+    __slots__ = ("_ports",)
 
     def __init__(self, sim: Simulator, node_id: int, name: str = ""):
         super().__init__(sim, node_id, name)
@@ -86,8 +116,28 @@ class Host(Node):
             port += 1
         return port
 
+    def receive(self, pkt: Packet) -> None:
+        dst = pkt.dst
+        if dst[0] == self.id:
+            self.pkts_delivered += 1
+            handler = self._ports.get(dst[1])
+            if handler is not None:
+                handler(pkt)
+            else:
+                # No bound port: defer to deliver() so subclasses that
+                # override it (test sinks, raw consumers) still see the
+                # packet; the base implementation drops it silently.
+                self.deliver(pkt)
+            return
+        link = self.routes.get(dst[0])
+        if link is None:
+            self.pkts_unroutable += 1
+            return
+        self.pkts_forwarded += 1
+        link.send(pkt)
+
     def deliver(self, pkt: Packet) -> None:
-        handler = self._ports.get(pkt.dst_port)
+        handler = self._ports.get(pkt.dst[1])
         if handler is not None:
             handler(pkt)
         # Unbound port: silently dropped, like a real host with no listener.

@@ -18,6 +18,18 @@ Handler = Callable[[Any, Address, int], None]  # (payload, src_addr, size)
 
 
 class UdpEndpoint:
+    __slots__ = (
+        "host",
+        "sim",
+        "port",
+        "_handler",
+        "_closed",
+        "_addr",
+        "bytes_sent",
+        "datagrams_sent",
+        "datagrams_received",
+    )
+
     def __init__(self, host: Host, port: Optional[int] = None):
         self.host = host
         self.sim = host.sim
@@ -27,13 +39,14 @@ class UdpEndpoint:
         self._handler: Optional[Handler] = None
         host.bind(port, self._on_packet)
         self._closed = False
+        self._addr: Address = (host.id, port)
         self.bytes_sent = 0
         self.datagrams_sent = 0
         self.datagrams_received = 0
 
     @property
     def address(self) -> Address:
-        return (self.host.id, self.port)
+        return self._addr
 
     def on_receive(self, handler: Handler) -> None:
         self._handler = handler
@@ -48,15 +61,9 @@ class UdpEndpoint:
         """Send a datagram whose application payload is ``size`` bytes."""
         if self._closed:
             raise RuntimeError("endpoint is closed")
-        pkt = Packet(
-            size=size + IP_UDP_HEADER,
-            src=self.address,
-            dst=dst,
-            payload=payload,
-            flow=flow,
-            created=self.sim.now,
-        )
-        self.bytes_sent += pkt.size
+        wire = size + IP_UDP_HEADER
+        pkt = Packet(wire, self._addr, dst, payload, flow, self.sim.now)
+        self.bytes_sent += wire
         self.datagrams_sent += 1
         return self.host.send(pkt)
 

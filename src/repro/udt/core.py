@@ -119,9 +119,16 @@ class UdtCore:
         self.recv_rate = 0.0  # EWMA of peer-measured delivery rate (pkts/s)
         self.bandwidth = 0.0  # EWMA of peer link-capacity estimate (pkts/s)
         self._send_event: Any = None
+        # Fast-path pacing timer: when the scheduler offers fire-and-forget
+        # ``post_at`` (the sim engine does), the per-packet send tick runs
+        # without allocating a cancellable Event — ``_send_scheduled``
+        # dedupes and ``closed``/``connected`` guards make cancel moot.
+        self._post_at = getattr(scheduler, "post_at", None)
+        self._send_scheduled = False
         self._freeze_until = 0.0
         self._pair_pending = False
         self._unlimited_source = False
+        self._probe_interval = config.probe_interval  # hot-path cache
         # §4.4: the real inter-send interval (EWMA).  On hosts where one
         # send costs more than the nominal period, the controller must
         # correct P' with the achieved rate or rate control is impaired.
@@ -291,18 +298,27 @@ class UdtCore:
     # sender half
     # ------------------------------------------------------------------
     def _ensure_send_scheduled(self) -> None:
-        if not self.connected or self.closed or self._send_event is not None:
+        if not self.connected or self.closed:
             return
-        t = max(self.sched.now(), self._freeze_until)
-        self._send_event = self.sched.call_at(t, self._on_send_timer)
+        if self._send_scheduled or self._send_event is not None:
+            return
+        self._schedule_send(max(self.sched.now(), self._freeze_until))
+
+    def _schedule_send(self, t: float) -> None:
+        if self._post_at is not None:
+            self._send_scheduled = True
+            self._post_at(t, self._on_send_timer)
+        else:
+            self._send_event = self.sched.call_at(t, self._on_send_timer)
 
     def _on_send_timer(self) -> None:
         self._send_event = None
+        self._send_scheduled = False
         if not self.connected or self.closed:
             return
         now = self.sched.now()
         if now < self._freeze_until:
-            self._send_event = self.sched.call_at(self._freeze_until, self._on_send_timer)
+            self._schedule_send(self._freeze_until)
             return
         sent = self._try_send_one()
         if not sent:
@@ -315,7 +331,7 @@ class UdtCore:
             delay = 0.0
         else:
             delay = self.cc.period
-        self._send_event = self.sched.call_at(now + delay, self._on_send_timer)
+        self._schedule_send(now + delay)
 
     def _try_send_one(self) -> bool:
         """Transmit one data packet: loss list first, then new data.
@@ -324,20 +340,26 @@ class UdtCore:
         gates retransmissions too: recovery proceeds oldest-hole-first
         within the window instead of flooding the whole loss list back
         into an already-congested queue.
+
+        Runs once per data packet sent — self-attribute loads are hoisted
+        into locals on purpose.
         """
+        snd_loss = self.snd_loss
+        snd_buffer = self.snd_buffer
+        last_ack = self.snd_last_ack
         window = min(self.flow_window, self.cc.window)
         # 1. retransmission
         while True:
-            seq = self.snd_loss.peek()
+            seq = snd_loss.peek()
             if seq is None:
                 break
-            if seq_cmp(seq, self.snd_last_ack) < 0:
-                self.snd_loss.pop()
+            if seq_cmp(seq, last_ack) < 0:
+                snd_loss.pop()
                 continue  # already acknowledged meanwhile
-            if seq_off(self.snd_last_ack, seq) >= window:
+            if seq_off(last_ack, seq) >= window:
                 return False  # beyond the unacked threshold; wait for ACKs
-            self.snd_loss.pop()
-            entry = self.snd_buffer.lookup(seq)
+            snd_loss.pop()
+            entry = snd_buffer.lookup(seq)
             if entry is None:
                 continue
             size, data = entry
@@ -345,27 +367,25 @@ class UdtCore:
             self._emit_data(seq, size, data, retransmitted=True)
             return True
         # 2. new data, if the window allows
-        unacked = seq_off(self.snd_last_ack, self.curr_seq)
-        if unacked >= window:
+        seq = self.curr_seq
+        if seq_off(last_ack, seq) >= window:
             return False
-        if not self.snd_buffer.has_data:
+        if not snd_buffer.has_data:
             if not self._unlimited_source:
                 return False
-            self.snd_buffer.add(self.config.payload_size)
-        size = self.snd_buffer.packetise(self.curr_seq)
+            snd_buffer.add(self.config.payload_size)
+        size = snd_buffer.packetise(seq)
         if size is None:
             return False
-        seq = self.curr_seq
         data = None
-        entry = self.snd_buffer.lookup(seq)
+        entry = snd_buffer.lookup(seq)
         if entry is not None:
             data = entry[1]
-        self.curr_seq = seq_inc(self.curr_seq)
+        self.curr_seq = seq_inc(seq)
         if seq_cmp(seq, self.max_seq_sent) > 0:
             self.max_seq_sent = seq
         # A probe pair starts at every 16th packet of the sequence space.
-        probe_phase = seq % self.config.probe_interval
-        self._pair_pending = probe_phase == 0
+        self._pair_pending = seq % self._probe_interval == 0
         self._emit_data(seq, size, data, retransmitted=False)
         return True
 
@@ -385,10 +405,11 @@ class UdtCore:
         pkt = P.DataPacket(
             seq=seq, size=size, ts=self._ts(), data=data, retransmitted=retransmitted
         )
-        self.stats.data_pkts_sent += 1
-        self.stats.data_bytes_sent += size
+        stats = self.stats
+        stats.data_pkts_sent += 1
+        stats.data_bytes_sent += size
         if retransmitted:
-            self.stats.retransmitted_pkts += 1
+            stats.retransmitted_pkts += 1
         if self.meter is not None:
             self.meter.on_data_sent(size)
         if self.bus.detail:
@@ -530,7 +551,7 @@ class UdtCore:
         # Measurement hooks (§3.2 / §3.4).
         self.arrivals.on_arrival(now)
         if not pkt.retransmitted:
-            phase = pkt.seq % self.config.probe_interval
+            phase = pkt.seq % self._probe_interval
             if phase == 0:
                 self.probes.on_probe1(now)
             elif phase == 1:

@@ -39,18 +39,40 @@ def _check_seq(seq: int) -> int:
     return seq
 
 
-@dataclass
 class DataPacket:
-    """One fixed-size data segment.  ``size`` is the payload byte count."""
+    """One fixed-size data segment.  ``size`` is the payload byte count.
 
-    seq: int
-    size: int
-    ts: int = 0  # sender timestamp, microseconds
-    dst_id: int = 0
-    data: Optional[bytes] = None  # real payload (live mode); None in sim
-    retransmitted: bool = False
+    Hand-written with ``__slots__`` rather than a dataclass: one of these
+    is allocated per data packet sent, so skipping the per-instance
+    ``__dict__`` is a measurable win on long runs (and slots=True
+    dataclasses need Python >= 3.10).
+    """
+
+    __slots__ = ("seq", "size", "ts", "dst_id", "data", "retransmitted")
 
     type_name: ClassVar[str] = "data"
+
+    def __init__(
+        self,
+        seq: int,
+        size: int,
+        ts: int = 0,  # sender timestamp, microseconds
+        dst_id: int = 0,
+        data: Optional[bytes] = None,  # real payload (live mode); None in sim
+        retransmitted: bool = False,
+    ):
+        self.seq = seq
+        self.size = size
+        self.ts = ts
+        self.dst_id = dst_id
+        self.data = data
+        self.retransmitted = retransmitted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DataPacket(seq={self.seq}, size={self.size}, ts={self.ts}, "
+            f"dst_id={self.dst_id}, retransmitted={self.retransmitted})"
+        )
 
     @property
     def wire_size(self) -> int:

@@ -33,6 +33,12 @@ class SimScheduler:
     def call_at(self, time: float, fn: Callable[[], None]) -> Event:
         return self.sim.schedule_at(max(time, self.sim.now), fn)
 
+    def post_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Fire-and-forget timer: no Event allocation, not cancellable."""
+        sim = self.sim
+        now = sim.now
+        sim.post_at(time if time > now else now, fn)
+
     def cancel(self, handle: Event) -> None:
         handle.cancel()
 
@@ -89,12 +95,19 @@ class UdtFlow:
         self._dst_ep = UdpEndpoint(dst)
 
         # Wire packets carry the flow id so link-level telemetry (drops,
-        # queue events, ns-2 taps) is attributable to a connection.
+        # queue events, ns-2 taps) is attributable to a connection.  The
+        # endpoints/addresses are pre-bound: transmit runs once per packet.
+        src_sendto = self._src_ep.sendto
+        dst_sendto = self._dst_ep.sendto
+        src_addr = self._src_ep.address
+        dst_addr = self._dst_ep.address
+        fid = self.flow_id
+
         def snd_transmit(msg: Any, size: int) -> None:
-            self._src_ep.sendto(msg, size, self._dst_ep.address, flow=self.flow_id)
+            src_sendto(msg, size, dst_addr, flow=fid)
 
         def rcv_transmit(msg: Any, size: int) -> None:
-            self._dst_ep.sendto(msg, size, self._src_ep.address, flow=self.flow_id)
+            dst_sendto(msg, size, src_addr, flow=fid)
 
         self.sender = UdtCore(
             self.config,
@@ -114,12 +127,14 @@ class UdtFlow:
             meter=meter_rcv,
             bus=self.bus,
         )
-        self._src_ep.on_receive(lambda msg, addr, size: self.sender.on_datagram(msg, size))
-        self._dst_ep.on_receive(lambda msg, addr, size: self.receiver.on_datagram(msg, size))
+        snd_datagram = self.sender.on_datagram
+        rcv_datagram = self.receiver.on_datagram
+        self._src_ep.on_receive(lambda msg, addr, size: snd_datagram(msg, size))
+        self._dst_ep.on_receive(lambda msg, addr, size: rcv_datagram(msg, size))
         # Arrival-rate series (sink-side, NS-2 style) under "<id>:arr".
-        self.receiver.arrival_cb = lambda size: net.monitor.on_deliver(
-            (self.flow_id, "arr"), size
-        )
+        arr_key = (self.flow_id, "arr")
+        monitor_deliver = net.monitor.on_deliver
+        self.receiver.arrival_cb = lambda size: monitor_deliver(arr_key, size)
 
         net.sim.schedule_at(max(start, net.sim.now), self._begin)
 

@@ -148,7 +148,7 @@ class TestCategorize:
         from repro.sim.link import Link
         from repro.udt.core import UdtCore
 
-        assert categorize(Link._tx_done) == "link.transmit"
+        assert categorize(Link._drain) == "link.transmit"
         assert categorize(UdtCore._on_send_timer) == "cc.send_timer"
         assert categorize(UdtCore._on_syn_timer) == "cc.syn_timer"
 

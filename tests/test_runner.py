@@ -1,0 +1,266 @@
+"""Sweep runner: digests, the result cache, and worker orchestration.
+
+The expensive end-to-end properties (full-sweep wall clock, warm-sweep
+cache hits at scale) live in CI's sweep-smoke job; here we pin the
+invariants the cache's correctness rests on: digest stability across
+processes and hash seeds, invalidation on config/source change, corrupt
+entry self-healing, and jobs-independence of results and traces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runner.cache import ResultCache
+from repro.runner.digest import SRC_ROOT, experiment_digest, import_closure
+from repro.runner.sweep import (
+    SweepReport,
+    check_regressions,
+    run_sweep,
+    select_experiments,
+    update_bench,
+)
+
+SCALE = 0.05
+
+
+class TestDigest:
+    def test_stable_within_process(self):
+        d1, _ = experiment_digest("fig02", SCALE)
+        d2, _ = experiment_digest("fig02", SCALE)
+        assert d1 == d2
+        assert len(d1) == 64
+
+    def test_stable_across_processes_and_hash_seeds(self):
+        """PYTHONHASHSEED must not leak into the digest."""
+        code = (
+            "from repro.runner.digest import experiment_digest;"
+            f"print(experiment_digest('fig02', {SCALE})[0])"
+        )
+        digests = set()
+        for seed in ("0", "12345"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = str(SRC_ROOT) + os.pathsep + env.get("PYTHONPATH", "")
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                env=env, check=True, capture_output=True, text=True,
+            )
+            digests.add(out.stdout.strip())
+        digests.add(experiment_digest("fig02", SCALE)[0])
+        assert len(digests) == 1
+
+    def test_scale_and_overrides_invalidate(self):
+        base, _ = experiment_digest("fig02", SCALE)
+        other_scale, _ = experiment_digest("fig02", 0.3)
+        with_override, _ = experiment_digest("fig02", SCALE, {"duration": 5})
+        other_override, _ = experiment_digest("fig02", SCALE, {"duration": 6})
+        assert len({base, other_scale, with_override, other_override}) == 4
+        # tuple-valued overrides are representable and order-insensitive
+        a, _ = experiment_digest("fig02", SCALE, {"rtts": (0.01,), "n_flows": 4})
+        b, _ = experiment_digest("fig02", SCALE, {"n_flows": 4, "rtts": (0.01,)})
+        assert a == b
+
+    def test_experiments_differ(self):
+        d1, _ = experiment_digest("fig02", SCALE)
+        d2, _ = experiment_digest("fig09", SCALE)
+        assert d1 != d2
+
+    def test_closure_covers_the_stack_but_not_other_experiments(self):
+        files = {p.relative_to(SRC_ROOT).as_posix() for p in
+                 import_closure(["repro.experiments.fig02_fairness"])}
+        assert "repro/sim/engine.py" in files
+        assert "repro/sim/link.py" in files
+        assert "repro/udt/core.py" in files
+        assert "repro/experiments/fig09_losslist.py" not in files
+
+    def test_source_change_invalidates(self, monkeypatch):
+        """A changed content hash for any closure file changes the digest."""
+        import repro.runner.digest as digest_mod
+
+        base, files = experiment_digest("fig02", SCALE)
+        target = next(iter(sorted(files)))
+        real = digest_mod.file_sha256
+
+        def tweaked(path):
+            h = real(path)
+            if path.relative_to(SRC_ROOT).as_posix() == target:
+                return h[::-1]
+            return h
+
+        monkeypatch.setattr(digest_mod, "file_sha256", tweaked)
+        changed, _ = experiment_digest("fig02", SCALE)
+        assert changed != base
+
+
+class TestCache:
+    DIGEST = "ab" * 32
+
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(self.DIGEST, {"exp_id": "x", "seconds": 1.5, "result": {"rows": []}})
+        entry = cache.load(self.DIGEST)
+        assert entry is not None
+        assert entry["exp_id"] == "x"
+        assert entry["digest"] == self.DIGEST
+        assert self.DIGEST in cache
+
+    def test_miss(self, tmp_path):
+        assert ResultCache(tmp_path).load("cd" * 32) is None
+
+    def test_corrupt_entry_is_dropped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(self.DIGEST, {"result": {}})
+        cache.path(self.DIGEST).write_text("{not json")
+        assert cache.load(self.DIGEST) is None
+        assert cache.corrupt_dropped == 1
+        assert not cache.path(self.DIGEST).exists()
+        # and a fresh store heals it
+        cache.store(self.DIGEST, {"result": {"ok": True}})
+        assert cache.load(self.DIGEST)["result"] == {"ok": True}
+
+    def test_schema_or_digest_mismatch_is_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.store(self.DIGEST, {"result": {}})
+        entry = json.loads(path.read_text())
+        entry["digest"] = "ef" * 32
+        path.write_text(json.dumps(entry))
+        assert cache.load(self.DIGEST) is None
+        assert cache.corrupt_dropped == 1
+
+    def test_rejects_non_digest_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.path("../../etc/passwd")
+
+
+class TestSelect:
+    def test_all(self):
+        selector, ids = select_experiments(None)
+        assert selector == "all"
+        assert "fig02" in ids and len(ids) >= 25
+
+    def test_subset_preserves_order_and_dedups(self):
+        selector, ids = select_experiments(["fig09", "table1", "fig09"])
+        assert selector == "fig09,table1"
+        assert ids == ["fig09", "table1"]
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            select_experiments(["not-an-experiment"])
+
+
+@pytest.mark.slow
+class TestSweepEndToEnd:
+    """Subprocess sweeps: cache behaviour and jobs-independence."""
+
+    ONLY = ["table1", "fig09"]
+
+    def test_cold_then_warm_then_jobs_independent(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        traces1 = tmp_path / "tr-jobs1"
+        traces4 = tmp_path / "tr-jobs4"
+
+        cold = run_sweep(only=self.ONLY, jobs=1, scale=SCALE, cache_dir=cache_dir)
+        assert cold.ok and cold.executed == self.ONLY and not cold.cached
+
+        warm = run_sweep(only=self.ONLY, jobs=1, scale=SCALE, cache_dir=cache_dir)
+        assert warm.ok and warm.cached == self.ONLY and not warm.executed
+        assert warm.digests == cold.digests
+
+        # Trace runs execute (never served from cache) so traces exist to
+        # compare; jobs must not affect a single byte of them.
+        t1 = run_sweep(
+            only=self.ONLY, jobs=1, scale=SCALE, cache_dir=cache_dir,
+            trace_dir=traces1,
+        )
+        t4 = run_sweep(
+            only=self.ONLY, jobs=4, scale=SCALE, cache_dir=cache_dir,
+            trace_dir=traces4,
+        )
+        assert t1.ok and t4.ok
+        for exp_id in self.ONLY:
+            a = (traces1 / f"{exp_id}.jsonl").read_bytes()
+            b = (traces4 / f"{exp_id}.jsonl").read_bytes()
+            assert a == b, f"{exp_id}: trace differs between jobs=1 and jobs=4"
+
+        # Cached results equal fresh results, modulo timing metadata.
+        cache = ResultCache(cache_dir)
+        for exp_id in self.ONLY:
+            entry = cache.load(t4.digests[exp_id])
+            assert entry is not None
+            assert entry["exp_id"] == exp_id
+            assert entry["result"]["rows"], f"{exp_id}: empty result cached"
+
+    def test_failure_is_reported_not_raised(self, tmp_path, monkeypatch):
+        import repro.runner.sweep as sweep_mod
+
+        def broken(*a, **k):
+            raise RuntimeError("worker exploded")
+
+        monkeypatch.setattr(sweep_mod, "_run_worker", broken)
+        report = run_sweep(only=["table1"], jobs=1, scale=SCALE,
+                           cache_dir=tmp_path / "c")
+        assert not report.ok
+        assert "table1" in report.failures
+
+
+class TestBenchMerge:
+    def _report(self, **kw):
+        rep = SweepReport(
+            selector="fig02", scale=0.05, jobs=2, experiments=["fig02"],
+            seconds=3.0, executed=["fig02"],
+            digests={"fig02": "aa" * 32}, exp_seconds={"fig02": 2.5},
+        )
+        for k, v in kw.items():
+            setattr(rep, k, v)
+        return rep
+
+    def test_merge_preserves_foreign_keys(self, tmp_path):
+        bench = tmp_path / "BENCH_runtime.json"
+        bench.write_text(json.dumps({
+            "schema": 1, "kind": "bench.runtime",
+            "runtimes": {"fig09_losslist": {"seconds": 8.2, "test": "x"}},
+            "sweeps": {"old|scale=0.3|jobs=1": {"seconds": 1.0}},
+            "custom_section": {"keep": "me"},
+        }))
+        update_bench(self._report(), bench)
+        data = json.loads(bench.read_text())
+        assert data["custom_section"] == {"keep": "me"}
+        assert "old|scale=0.3|jobs=1" in data["sweeps"]
+        assert data["runtimes"]["fig09_losslist"]["seconds"] == 8.2
+        assert data["runtimes"]["fig02"]["seconds"] == 2.5
+        entry = data["sweeps"]["fig02|scale=0.05|jobs=2"]
+        assert entry["digests"]["fig02"] == "aa" * 32
+        assert entry["per_experiment"] == {"fig02": 2.5}
+
+    def test_gate_passes_on_uniform_slowdown_fails_on_outlier(self, tmp_path):
+        def ledger(path, seconds):
+            path.write_text(json.dumps({
+                "schema": 1, "sweeps": {"all|scale=0.05|jobs=2": {
+                    "per_experiment": seconds}},
+            }))
+
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        ledger(base, {"a": 10.0, "b": 20.0, "c": 30.0})
+        # everything 2x slower (slower machine): normalised ratios are 1.0
+        ledger(cur, {"a": 20.0, "b": 40.0, "c": 60.0})
+        failures, _ = check_regressions(cur, base)
+        assert failures == []
+        # one experiment 2x slower than its peers: that's a regression
+        ledger(cur, {"a": 10.0, "b": 20.0, "c": 60.0})
+        failures, _ = check_regressions(cur, base)
+        assert len(failures) == 1 and "c" in failures[0]
+
+    def test_gate_fails_when_nothing_comparable(self, tmp_path):
+        base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+        base.write_text("{}")
+        cur.write_text("{}")
+        failures, _ = check_regressions(cur, base)
+        assert failures
