@@ -72,6 +72,16 @@ def pytest_sessionfinish(session, exitstatus):
             pass  # corrupt/legacy file: rewrite from this run only
     for fig, rec in _runtimes.items():
         data["runtimes"][fig] = {"seconds": round(rec["seconds"], 3), "test": rec["test"]}
+    # Bounded per-run history rides along for the dashboard's runtime
+    # trends; the latest values above stay authoritative for the gate.
+    try:
+        from repro.runner.sweep import append_history, git_sha
+
+        sha = git_sha()
+        for fig, rec in _runtimes.items():
+            append_history(data, fig, rec["seconds"], source="bench", sha=sha)
+    except ImportError:
+        pass  # repro not importable (bare pytest without PYTHONPATH=src)
     RUNTIME_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 

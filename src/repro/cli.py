@@ -130,23 +130,76 @@ def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             report, Path(args.bench) if args.bench else None
         )
         print(f"[sweep timings merged into {path}]")
+    if args.html:
+        from repro.obs.html import build_dashboard, collect_inputs
+
+        traces = {}
+        if args.trace_dir:
+            trace_dir = Path(args.trace_dir)
+            for exp_id in report.experiments:
+                trace = trace_dir / f"{exp_id}.jsonl"
+                if trace.exists():
+                    traces[exp_id] = trace
+        inputs = collect_inputs(
+            cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+            bench_path=Path(args.bench) if args.bench else None,
+            traces=traces,
+            only=report.experiments if only else None,
+            sweep_summary=report.to_text(),
+        )
+        build_dashboard(Path(args.html), inputs, emit=print)
     return 0 if report.ok else 1
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.obs.report import render_report, report_dict
-    from repro.obs.spans import build_spans
+def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from pathlib import Path
 
-    stats: dict = {}
-    spanset = build_spans(args.trace, stats=stats)
-    print(render_report(spanset))
-    if stats.get("skipped_lines"):
-        print(f"[warning: skipped {stats['skipped_lines']} malformed trace line(s)]")
-    if args.json:
-        with open(args.json, "w") as f:
-            json.dump(report_dict(spanset), f, indent=2, default=str)
-            f.write("\n")
-        print(f"[report JSON -> {args.json}]")
+    if args.trace is None and not args.html:
+        parser.error("report needs a trace file and/or --html OUT_DIR")
+
+    spanset = None
+    if args.trace is not None:
+        from repro.obs.report import render_report, report_dict, summary_only_hint
+        from repro.obs.spans import build_spans
+
+        stats: dict = {}
+        spanset = build_spans(args.trace, stats=stats)
+        hint = summary_only_hint(spanset)
+        if hint:
+            # summary-only trace: say how to get forensics, succeed anyway
+            print(f"[report] {hint}")
+        else:
+            print(render_report(spanset))
+            if stats.get("skipped_lines"):
+                print(
+                    f"[warning: skipped {stats['skipped_lines']} malformed "
+                    "trace line(s)]"
+                )
+            if args.json:
+                with open(args.json, "w") as f:
+                    json.dump(report_dict(spanset), f, indent=2, default=str)
+                    f.write("\n")
+                print(f"[report JSON -> {args.json}]")
+
+    if args.html:
+        from repro.obs.html import build_dashboard, collect_inputs
+
+        traces = {}
+        if args.trace is not None and spanset is not None:
+            for exp_id in (spanset.meta or {}).get("experiments") or []:
+                traces[exp_id] = Path(args.trace)
+        only = None
+        if args.only:
+            only = [s for s in args.only.replace(" ", "").split(",") if s]
+        inputs = collect_inputs(
+            cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+            results_dir=Path(args.results) if args.results else None,
+            bench_path=Path(args.bench) if args.bench else None,
+            ledger_path=Path(args.ledger) if args.ledger else None,
+            traces=traces,
+            only=only,
+        )
+        build_dashboard(Path(args.html), inputs, emit=print)
     return 0
 
 
@@ -271,18 +324,71 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="do not touch the runtime ledger",
     )
+    sweepp.add_argument(
+        "--html",
+        metavar="OUT_DIR",
+        default=None,
+        help="after the sweep, build the static HTML dashboard under "
+        "OUT_DIR from the swept results (see 'repro-udt report --html')",
+    )
 
     repp = sub.add_parser(
         "report",
         help="packet-lifecycle loss forensics from a JSONL trace "
         "(record with: run ... --trace t.jsonl --trace-packets)",
     )
-    repp.add_argument("trace", help="JSONL trace file from a traced run")
+    repp.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="JSONL trace file from a traced run (optional with --html)",
+    )
     repp.add_argument(
         "--json",
         metavar="PATH",
         default=None,
         help="also write the full report as JSON to PATH",
+    )
+    repp.add_argument(
+        "--html",
+        metavar="OUT_DIR",
+        default=None,
+        help="build the static HTML dashboard (index + one page per "
+        "experiment with inline SVG figures, fidelity deltas, forensics "
+        "and runtime trends) under OUT_DIR; results come from the sweep "
+        "cache, never from running experiments",
+    )
+    repp.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="sweep result cache the dashboard reads results from "
+        "(default $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    repp.add_argument(
+        "--results",
+        metavar="DIR",
+        default=None,
+        help="directory of <exp>.json result entries preferred over the cache",
+    )
+    repp.add_argument(
+        "--bench",
+        metavar="PATH",
+        default=None,
+        help="runtime ledger for trends (default "
+        "benchmarks/results/BENCH_runtime.json)",
+    )
+    repp.add_argument(
+        "--ledger",
+        metavar="PATH",
+        default=None,
+        help="fidelity ledger (default benchmarks/results/BENCH_fidelity.json)",
+    )
+    repp.add_argument(
+        "--only",
+        metavar="EXP,...",
+        default=None,
+        help="restrict dashboard pages to these experiment ids",
     )
 
     lintp = sub.add_parser(
@@ -309,7 +415,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.cmd == "sweep":
         return _cmd_sweep(args, parser)
     if args.cmd == "report":
-        return _cmd_report(args)
+        return _cmd_report(args, parser)
     if args.cmd == "lint":
         from repro.analysis.cli import run_lint
 

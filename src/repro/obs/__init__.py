@@ -53,9 +53,10 @@ from repro.obs.export import (
     trace_session,
     trace_to_file,
 )
+from repro.obs.figspec import FigureSpec, MetricSpec, ResultTable, get_spec
 from repro.obs.prof import SimProfiler, profile_simulators
 from repro.obs.registry import MetricsRegistry
-from repro.obs.report import render_report, report_dict
+from repro.obs.report import render_report, report_dict, summary_only_hint
 from repro.obs.spans import PacketSpan, SpanBuilder, SpanSet, build_spans
 from repro.obs.timeline import CcSample, TimelineRecorder
 
@@ -101,4 +102,9 @@ __all__ = [
     "build_spans",
     "render_report",
     "report_dict",
+    "summary_only_hint",
+    "FigureSpec",
+    "MetricSpec",
+    "ResultTable",
+    "get_spec",
 ]

@@ -31,6 +31,26 @@ def report_dict(spanset: SpanSet, **meta: Any) -> Dict[str, Any]:
     return d
 
 
+def summary_only_hint(spanset: SpanSet) -> Optional[str]:
+    """A re-run hint when the trace carries no packet-lifecycle detail.
+
+    Returns None when the trace has spans to report on, or when it was
+    recorded with packet detail enabled (an empty-but-detailed trace is
+    a real finding, not a recording mistake).
+    """
+    # loss/drop summary events attribute connections even without the
+    # detail tier; only per-seq spans prove packet detail was recorded
+    if any(spanset.spans.values()):
+        return None
+    if (spanset.meta or {}).get("packet_detail"):
+        return None
+    return (
+        "this trace has no packet-detail spans — re-record it with "
+        "--trace-packets (e.g. repro-udt run <exp> --trace t.jsonl "
+        "--trace-packets) to enable loss forensics"
+    )
+
+
 def _fmt_wait(seconds: float) -> str:
     if seconds < 1.0:
         return f"{seconds*1e3:.3f}ms"

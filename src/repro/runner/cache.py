@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 #: Entry layout version; bump when the stored shape changes.
 CACHE_SCHEMA = 1
@@ -81,6 +81,24 @@ class ResultCache:
             f.write("\n")
         os.replace(tmp, path)
         return path
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Every readable entry in the cache (dashboard/report scans).
+
+        Corrupt files are dropped exactly as :meth:`load` would; order is
+        deterministic (by filename, i.e. by digest).
+        """
+        if not self.root.is_dir():
+            return []
+        out: List[Dict[str, Any]] = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                entry = self.load(path.stem)
+            except ValueError:  # not a digest-named file; leave it alone
+                continue
+            if entry is not None:
+                out.append(entry)
+        return out
 
     def _drop(self, path: Path) -> None:
         try:

@@ -251,6 +251,55 @@ def run_sweep(
 
 # -- BENCH_runtime.json merge + regression gate -------------------------
 
+#: How many history entries each experiment keeps (oldest dropped first).
+HISTORY_LIMIT = 40
+
+
+def git_sha() -> str:
+    """Short SHA of HEAD, or "unknown" outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def append_history(
+    data: Dict[str, Any],
+    exp_id: str,
+    seconds: float,
+    scale: Optional[float] = None,
+    source: str = "sweep",
+    sha: Optional[str] = None,
+    limit: int = HISTORY_LIMIT,
+) -> None:
+    """Append one measured run to ``data["history"][exp_id]``, bounded.
+
+    The history list is what the dashboard plots as a runtime trend; the
+    top-level ``runtimes`` latest values stay authoritative for the
+    regression gate.  Entries are append-only up to ``limit``, then the
+    oldest fall off.
+    """
+    entry: Dict[str, Any] = {
+        "ts": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "sha": sha if sha is not None else git_sha(),
+        "seconds": round(seconds, 3),
+        "source": source,
+    }
+    if scale is not None:
+        entry["scale"] = scale
+    history = data.setdefault("history", {})
+    runs = history.setdefault(exp_id, [])
+    runs.append(entry)
+    del runs[:-limit]
+
 
 def _read_bench(path: Path) -> Dict[str, Any]:
     try:
@@ -275,11 +324,21 @@ def update_bench(report: SweepReport, bench_path: Optional[Path] = None) -> Path
     path = Path(bench_path) if bench_path is not None else DEFAULT_BENCH
     data = _read_bench(path)
     runtimes = data.setdefault("runtimes", {})
+    sha = git_sha()
     for exp_id in report.executed:
         runtimes[exp_id] = {
             "seconds": round(report.exp_seconds[exp_id], 3),
             "test": "repro-udt sweep",
         }
+        # cache hits are skipped: they carry no fresh measurement
+        append_history(
+            data,
+            exp_id,
+            report.exp_seconds[exp_id],
+            scale=report.scale,
+            source="sweep",
+            sha=sha,
+        )
     sweeps = data.setdefault("sweeps", {})
     sweeps[report.key] = {
         "experiments": len(report.experiments),

@@ -1,0 +1,285 @@
+"""Static HTML dashboard, report CLI guards, and bench history."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.html import DashboardInputs, build_dashboard, collect_inputs
+from repro.runner.cache import ResultCache
+from repro.runner.sweep import SweepReport, append_history, update_bench
+
+
+def _store_result(cache, exp_id, columns, rows, digest):
+    cache.store(
+        digest,
+        {
+            "exp_id": exp_id,
+            "scale": 0.05,
+            "seconds": 1.5,
+            "result": {
+                "exp_id": exp_id,
+                "title": f"{exp_id} synthetic",
+                "columns": columns,
+                "rows": rows,
+                "notes": "",
+                "paper_reference": "",
+            },
+        },
+    )
+
+
+@pytest.fixture
+def populated(tmp_path):
+    """A cache with fig08 + table1 results, a bench file with history."""
+    cache_dir = tmp_path / "cache"
+    cache = ResultCache(cache_dir)
+    _store_result(
+        cache,
+        "fig08",
+        ["loss event #", "lost packets"],
+        [[1, 400], [2, 900], [3, 150]],
+        "ab" * 32,
+    )
+    _store_result(
+        cache,
+        "table1",
+        ["B (Mb/s)", "inc (pkts/SYN)"],
+        [[1, 0.15], [10, 1.5]],
+        "cd" * 32,
+    )
+    bench = tmp_path / "bench.json"
+    bench.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "kind": "bench.runtime",
+                "runtimes": {"fig08": {"seconds": 19.2, "test": "sweep"}},
+                "history": {
+                    "fig08": [
+                        {"ts": "2026-08-01T00:00:00Z", "sha": "aaa", "seconds": 21.0},
+                        {"ts": "2026-08-02T00:00:00Z", "sha": "bbb", "seconds": 19.2},
+                    ]
+                },
+                "sweeps": {
+                    "all|scale=0.05|jobs=2": {
+                        "experiments": 4,
+                        "cached": 3,
+                        "seconds": 30.0,
+                        "per_experiment": {"fig08": 19.2},
+                    }
+                },
+            }
+        )
+    )
+    ledger = tmp_path / "fidelity.json"
+    from repro.obs.figspec import ResultTable, get_spec
+    from repro.obs.figures import ledger_entry, write_ledger
+
+    table = ResultTable(cache.load("ab" * 32)["result"])
+    write_ledger(
+        {
+            "schema": 1,
+            "kind": "bench.fidelity",
+            "figures": {"fig08": ledger_entry(get_spec("fig08"), table, 0.05)},
+        },
+        ledger,
+    )
+    return {"cache_dir": cache_dir, "bench": bench, "ledger": ledger}
+
+
+class TestDashboard:
+    def test_build_is_selfcontained_multipage(self, tmp_path, populated):
+        inputs = collect_inputs(
+            cache_dir=populated["cache_dir"],
+            bench_path=populated["bench"],
+            ledger_path=populated["ledger"],
+        )
+        out = tmp_path / "dash"
+        index = build_dashboard(out, inputs)
+        assert index == out / "index.html"
+        pages = {p.name for p in out.glob("*.html")}
+        assert {"index.html", "fig08.html", "table1.html"} <= pages
+        for page in out.glob("*.html"):
+            doc = page.read_text()
+            assert "<script" not in doc and "<link" not in doc, page.name
+            stripped = doc.replace("http://www.w3.org/2000/svg", "")
+            assert "http://" not in stripped and "https://" not in stripped, page.name
+
+    def test_experiment_page_contents(self, tmp_path, populated):
+        inputs = collect_inputs(
+            cache_dir=populated["cache_dir"],
+            bench_path=populated["bench"],
+            ledger_path=populated["ledger"],
+        )
+        out = tmp_path / "dash"
+        build_dashboard(out, inputs)
+        fig08 = (out / "fig08.html").read_text()
+        assert 'class="series"' in fig08  # the SVG figure
+        assert "Fidelity vs committed ledger" in fig08
+        assert "✓ ok" in fig08
+        assert "Result table" in fig08
+        # table1 has no figure spec: renders as a plain table, no crash
+        table1 = (out / "table1.html").read_text()
+        assert "Result table" in table1
+        assert 'class="series"' not in table1
+
+    def test_index_trend_and_sweep_stats(self, tmp_path, populated):
+        inputs = collect_inputs(
+            cache_dir=populated["cache_dir"],
+            bench_path=populated["bench"],
+            ledger_path=populated["ledger"],
+        )
+        out = tmp_path / "dash"
+        build_dashboard(out, inputs)
+        index = (out / "index.html").read_text()
+        assert "runtime trend" in index  # history sparkline rendered
+        assert "3/4" in index  # cache-hit stats from the sweeps section
+        assert 'href="fig08.html"' in index
+
+    def test_only_filter(self, tmp_path, populated):
+        inputs = collect_inputs(
+            cache_dir=populated["cache_dir"],
+            bench_path=populated["bench"],
+            ledger_path=populated["ledger"],
+            only=["fig08"],
+        )
+        out = tmp_path / "dash"
+        build_dashboard(out, inputs)
+        pages = {p.name for p in out.glob("*.html")}
+        assert pages == {"index.html", "fig08.html"}
+
+    def test_fidelity_badge_drifts_when_ledger_perturbed(self, tmp_path, populated):
+        data = json.loads(populated["ledger"].read_text())
+        m = data["figures"]["fig08"]["metrics"]
+        m["loss_max_pkts"] = m["loss_max_pkts"] * 2.0
+        populated["ledger"].write_text(json.dumps(data))
+        inputs = collect_inputs(
+            cache_dir=populated["cache_dir"],
+            bench_path=populated["bench"],
+            ledger_path=populated["ledger"],
+        )
+        out = tmp_path / "dash"
+        build_dashboard(out, inputs)
+        assert "✗ drifted" in (out / "fig08.html").read_text()
+
+
+class TestReportCli:
+    def _summary_trace(self, tmp_path):
+        """A real summary-only (no packet detail) trace of a tiny run."""
+        from repro.obs import trace_to_file
+        from repro.sim.topology import path_topology
+        from repro.udt import start_udt_flow
+
+        path = str(tmp_path / "summary.jsonl")
+        with trace_to_file(path, generator="test", experiments=["fig04"]):
+            top = path_topology(50e6, 0.02)
+            start_udt_flow(top.net, top.src, top.dst)
+            top.net.run(until=1.0)
+        return path
+
+    def test_summary_only_trace_hints_and_exits_zero(self, tmp_path, capsys):
+        trace = self._summary_trace(tmp_path)
+        assert cli_main(["report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "--trace-packets" in out
+        assert "packet-lifecycle report" not in out
+
+    def test_summary_only_trace_with_html_still_builds(self, tmp_path, capsys):
+        trace = self._summary_trace(tmp_path)
+        out_dir = tmp_path / "dash"
+        rc = cli_main(
+            [
+                "report",
+                trace,
+                "--html",
+                str(out_dir),
+                "--cache-dir",
+                str(tmp_path / "empty-cache"),
+                "--bench",
+                str(tmp_path / "none.json"),
+                "--ledger",
+                str(tmp_path / "none2.json"),
+            ]
+        )
+        assert rc == 0
+        assert "--trace-packets" in capsys.readouterr().out
+        fig04 = out_dir / "fig04.html"
+        assert (out_dir / "index.html").exists() and fig04.exists()
+        doc = fig04.read_text()
+        # the CC timeline still renders from the summary trace, and the
+        # forensics card carries the hint instead of an empty report
+        assert "CC timeline" in doc
+        assert "--trace-packets" in doc
+
+    def test_report_without_trace_or_html_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["report"])
+
+    def test_html_from_cache_without_trace(self, tmp_path, populated, capsys):
+        out_dir = tmp_path / "dash"
+        rc = cli_main(
+            [
+                "report",
+                "--html",
+                str(out_dir),
+                "--cache-dir",
+                str(populated["cache_dir"]),
+                "--bench",
+                str(populated["bench"]),
+                "--ledger",
+                str(populated["ledger"]),
+            ]
+        )
+        assert rc == 0
+        assert (out_dir / "index.html").exists()
+        capsys.readouterr()
+
+
+class TestBenchHistory:
+    def test_append_history_is_bounded(self):
+        data = {}
+        for i in range(50):
+            append_history(data, "fig08", float(i), source="test", sha="s", limit=40)
+        runs = data["history"]["fig08"]
+        assert len(runs) == 40
+        assert runs[0]["seconds"] == 10.0  # oldest ten dropped
+        assert runs[-1]["seconds"] == 49.0
+        assert {"ts", "sha", "seconds", "source"} <= set(runs[0])
+
+    def test_update_bench_appends_history_and_keeps_latest(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        report = SweepReport(
+            selector="fig08",
+            scale=0.05,
+            jobs=1,
+            experiments=["fig08"],
+            executed=["fig08"],
+            exp_seconds={"fig08": 19.2},
+            digests={"fig08": "ab" * 32},
+        )
+        update_bench(report, bench)
+        report.exp_seconds["fig08"] = 20.1
+        update_bench(report, bench)
+        data = json.loads(bench.read_text())
+        # gate still reads a single latest value
+        assert data["runtimes"]["fig08"]["seconds"] == 20.1
+        # dashboard reads the appended trend
+        secs = [h["seconds"] for h in data["history"]["fig08"]]
+        assert secs == [19.2, 20.1]
+        assert all(h["scale"] == 0.05 for h in data["history"]["fig08"])
+
+    def test_cached_experiments_record_no_history(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        report = SweepReport(
+            selector="fig08",
+            scale=0.05,
+            jobs=1,
+            experiments=["fig08"],
+            cached=["fig08"],
+            exp_seconds={"fig08": 19.2},
+        )
+        update_bench(report, bench)
+        data = json.loads(bench.read_text())
+        assert "fig08" not in data.get("history", {})
