@@ -79,6 +79,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="runner keyword override for --sanitize (repeatable), "
         "e.g. --set duration=5",
     )
+    parser.add_argument(
+        "--sanitize-format",
+        choices=("jsonl", "jsonl.gz", "rtrc"),
+        default="jsonl",
+        help="trace format the --sanitize runs record and diff "
+        "(default: jsonl)",
+    )
 
 
 def _parse_overrides(
@@ -170,7 +177,9 @@ def run_lint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         from repro.analysis.sanitizer import DeterminismSanitizer
 
         sanitizer = DeterminismSanitizer(
-            args.sanitize, overrides=_parse_overrides(args.overrides, parser)
+            args.sanitize,
+            overrides=_parse_overrides(args.overrides, parser),
+            trace_format=args.sanitize_format,
         )
         sanitize_result = sanitizer.run()
         payload["sanitize"] = sanitize_result.to_dict()

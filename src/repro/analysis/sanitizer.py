@@ -14,11 +14,14 @@ that flush out hidden ordering dependence:
   runs, so any iteration over a ``set`` (or other hash-ordered
   container) that leaks into scheduling or telemetry reorders.
 
-Both runs record a full JSONL telemetry trace (packet-detail tier
-included), and the two traces are then compared **byte for byte**, event
-by event.  A clean experiment produces identical streams; the first
-divergence is reported with the surrounding event context (the qlog-ish
-equivalent of a sanitizer stack trace).
+Both runs record a full telemetry trace (packet-detail tier included;
+JSONL or the ``.rtrc`` binary store), and the two traces are then
+compared **byte for byte**, event by event.  The comparison streams in
+fixed-size chunks — a packet-tier fig08 trace is 7M+ events, and
+paper-scale traces will not fit in memory — and only on a byte mismatch
+re-walks the records to pinpoint the first divergent event with its
+surrounding context (the qlog-ish equivalent of a sanitizer stack
+trace).  A clean experiment produces identical streams.
 
 Fresh subprocesses matter: ``PYTHONHASHSEED`` is fixed at interpreter
 start, and process-global counters (wire-packet uids, default flow ids)
@@ -117,38 +120,142 @@ class SanitizerResult:
         )
 
 
+#: Chunk size for the streaming byte comparison (1 MiB).
+_DIFF_CHUNK = 1 << 20
+
+
+def _read_exact(f: Any, n: int) -> bytes:
+    """Read exactly ``n`` bytes unless EOF (gzip streams may short-read)."""
+    buf = f.read(n)
+    if buf is None or len(buf) == n:
+        return buf or b""
+    parts = [buf]
+    got = len(buf)
+    while got < n:
+        chunk = f.read(n - got)
+        if not chunk:
+            break
+        parts.append(chunk)
+        got += len(chunk)
+    return b"".join(parts)
+
+
+def _event_byte_stream(path: Path) -> Any:
+    """Binary stream over a trace's post-``trace.meta`` payload.
+
+    For JSONL (plain or gzip) this is the decompressed byte stream after
+    the header line; for ``.rtrc`` it is the raw container bytes after
+    the meta frame (block framing and zlib are deterministic, so
+    identical event streams give identical container bytes).
+    """
+    p = str(path)
+    if p.endswith(".rtrc"):
+        from repro.obs.store import event_region_offset
+
+        f = open(p, "rb")
+        f.seek(event_region_offset(path))
+        return f
+    if p.endswith(".gz"):
+        import gzip
+
+        f = gzip.open(p, "rb")
+    else:
+        f = open(p, "rb")
+    first = f.readline()
+    if first and b'"trace.meta"' not in first:
+        f.close()
+        raise ValueError("trace does not start with a trace.meta header")
+    return f
+
+
+def _iter_event_lines(path: Path) -> Any:
+    """Canonical JSONL event strings of a trace, any format, streamed."""
+    p = str(path)
+    if p.endswith(".rtrc"):
+        from repro.obs.store import RtrcReader
+
+        with RtrcReader(p) as reader:
+            for line in reader.iter_jsonl():
+                yield line
+        return
+    from repro.obs.export import open_trace_text
+
+    with open_trace_text(p, "r") as f:
+        first = f.readline()
+        if first and '"trace.meta"' not in first:
+            raise ValueError("trace does not start with a trace.meta header")
+        for line in f:
+            yield line.rstrip("\n")
+
+
+def _count_events(path: Path, newline_count: int) -> int:
+    """Events in an equal-stream trace: index footer beats newline tally."""
+    if str(path).endswith(".rtrc"):
+        from repro.obs.store import RtrcReader
+
+        with RtrcReader(path) as reader:
+            return reader.events_total
+    return newline_count
+
+
 def diff_traces(
     path_a: Path, path_b: Path, context: int = 5
 ) -> Tuple[int, Optional[Divergence]]:
-    """Byte-compare two JSONL traces event by event.
+    """Byte-compare two traces event by event, streaming.
 
-    The ``trace.meta`` header line of each file is skipped (it may carry
-    run-specific metadata); every subsequent line must match exactly.
+    The ``trace.meta`` header of each trace is skipped (it may carry
+    run-specific metadata); every subsequent byte must match.  The
+    comparison runs in fixed-size chunks with O(chunk) memory; only when
+    the streams differ are the records re-walked to report the first
+    divergent event with its preceding context.  Works on ``.jsonl``,
+    ``.jsonl.gz`` and ``.rtrc`` traces (both sides must share a format).
     Returns (events_compared, first_divergence_or_None).
     """
+    equal = True
+    newlines = 0
+    fa = _event_byte_stream(path_a)
+    try:
+        fb = _event_byte_stream(path_b)
+    except Exception:
+        fa.close()
+        raise
+    try:
+        while True:
+            ca = _read_exact(fa, _DIFF_CHUNK)
+            cb = _read_exact(fb, _DIFF_CHUNK)
+            if ca != cb:
+                equal = False
+                break
+            if not ca:
+                break
+            newlines += ca.count(b"\n")
+    finally:
+        fa.close()
+        fb.close()
+    if equal:
+        return _count_events(path_a, newlines), None
+
+    # Byte mismatch: re-walk the records for the precise first divergence.
     recent: List[str] = []
     index = 0
-    with open(path_a, "r") as fa, open(path_b, "r") as fb:
-        ia = (line.rstrip("\n") for line in fa)
-        ib = (line.rstrip("\n") for line in fb)
-        for it in (ia, ib):  # skip each file's meta header, if present
-            first = next(it, None)
-            if first is not None and '"trace.meta"' not in first:
-                raise ValueError("trace does not start with a trace.meta header")
-        while True:
-            la = next(ia, None)
-            lb = next(ib, None)
-            if la is None and lb is None:
-                return index, None
-            if la != lb:
-                return index, Divergence(
-                    index=index, line_a=la, line_b=lb, context=list(recent)
-                )
-            assert la is not None
-            recent.append(la)
-            if len(recent) > context:
-                recent.pop(0)
-            index += 1
+    ia = _iter_event_lines(path_a)
+    ib = _iter_event_lines(path_b)
+    while True:
+        la = next(ia, None)
+        lb = next(ib, None)
+        if la is None and lb is None:
+            # compressed bytes differed but the event streams agree
+            # (e.g. re-blocked .rtrc); that is still deterministic.
+            return index, None
+        if la != lb:
+            return index, Divergence(
+                index=index, line_a=la, line_b=lb, context=list(recent)
+            )
+        assert la is not None
+        recent.append(la)
+        if len(recent) > context:
+            recent.pop(0)
+        index += 1
 
 
 def _worker_argv(
@@ -196,7 +303,12 @@ class DeterminismSanitizer:
     workdir:
         Where to keep the two traces; a temp dir (deleted on success,
         kept on divergence for forensics) when omitted.
+    trace_format:
+        ``jsonl`` (default), ``jsonl.gz`` or ``rtrc`` — the on-disk
+        format the perturbed runs record and the diff streams over.
     """
+
+    TRACE_FORMATS = ("jsonl", "jsonl.gz", "rtrc")
 
     def __init__(
         self,
@@ -205,12 +317,19 @@ class DeterminismSanitizer:
         packets: bool = True,
         workdir: Optional[str] = None,
         timeout: float = 900.0,
+        trace_format: str = "jsonl",
     ):
+        if trace_format not in self.TRACE_FORMATS:
+            raise ValueError(
+                f"trace_format must be one of {self.TRACE_FORMATS}, "
+                f"got {trace_format!r}"
+            )
         self.exp_id = exp_id
         self.overrides = dict(overrides or {})
         self.packets = packets
         self.workdir = workdir
         self.timeout = timeout
+        self.trace_format = trace_format
 
     def _spawn(self, trace_path: Path, tie_break: str, hashseed: str) -> Dict[str, Any]:
         env = dict(os.environ)
@@ -248,7 +367,7 @@ class DeterminismSanitizer:
         runs: List[Dict[str, Any]] = []
         paths: List[Path] = []
         for tie_break, hashseed in PERTURBATIONS:
-            trace_path = workdir / f"{self.exp_id}-{tie_break}.jsonl"
+            trace_path = workdir / f"{self.exp_id}-{tie_break}.{self.trace_format}"
             runs.append(self._spawn(trace_path, tie_break, hashseed))
             paths.append(trace_path)
         events, divergence = diff_traces(paths[0], paths[1])

@@ -21,6 +21,14 @@
                                     # merge into BENCH_runtime.json
     repro-udt sweep --only fig02,fig08 --scale 0.05 --force
                                     # re-run a subset at smoke scale
+    repro-udt run fig08 --trace t.rtrc --trace-packets
+                                    # indexed binary trace (~10x smaller
+                                    # than JSONL, block-skippable queries)
+    repro-udt trace query t.rtrc --kind link.drop --stats
+                                    # indexed trace query: filter by
+                                    # kind/src/time without a full scan
+    repro-udt trace convert t.rtrc t.jsonl.gz
+                                    # re-encode between trace formats
     repro-udt report t.jsonl        # loss-forensics report from a trace
     repro-udt lint                  # protocol-invariant static analysis
                                     # over the repro tree (seqno-arith,
@@ -67,11 +75,20 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         if args.exp_id == "all"
         else [args.exp_id]
     )
+    sample = None
+    if getattr(args, "trace_sample", None):
+        from repro.obs.store import parse_sample_specs
+
+        try:
+            sample = parse_sample_specs(args.trace_sample)
+        except ValueError as exc:
+            parser.error(str(exc))
     profiling = args.profile or args.profile_json is not None
     with traced(
         args.trace,
         summary=args.summary,
         packets=args.trace_packets,
+        sample=sample,
         generator="repro-udt",
         experiments=ids,
     ) as session:
@@ -120,9 +137,12 @@ def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             force=args.force,
             trace_dir=Path(args.trace_dir) if args.trace_dir else None,
             trace_packets=args.trace_packets,
+            trace_format=args.trace_format,
+            progress=args.progress,
+            progress_path=Path(args.progress_file) if args.progress_file else None,
             emit=print,
         )
-    except KeyError as exc:
+    except (KeyError, ValueError) as exc:
         parser.error(str(exc.args[0]) if exc.args else str(exc))
     print(report.to_text())
     if not args.no_bench:
@@ -137,15 +157,27 @@ def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         if args.trace_dir:
             trace_dir = Path(args.trace_dir)
             for exp_id in report.experiments:
-                trace = trace_dir / f"{exp_id}.jsonl"
+                trace = trace_dir / f"{exp_id}.{args.trace_format}"
                 if trace.exists():
                     traces[exp_id] = trace
+        progress_path = None
+        if args.progress or args.progress_file:
+            from repro.runner.progress import default_progress_path
+
+            progress_path = (
+                Path(args.progress_file)
+                if args.progress_file
+                else default_progress_path(
+                    Path(args.cache_dir) if args.cache_dir else None
+                )
+            )
         inputs = collect_inputs(
             cache_dir=Path(args.cache_dir) if args.cache_dir else None,
             bench_path=Path(args.bench) if args.bench else None,
             traces=traces,
             only=report.experiments if only else None,
             sweep_summary=report.to_text(),
+            progress_path=progress_path,
         )
         build_dashboard(Path(args.html), inputs, emit=print)
     return 0 if report.ok else 1
@@ -198,6 +230,7 @@ def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
             ledger_path=Path(args.ledger) if args.ledger else None,
             traces=traces,
             only=only,
+            progress_path=Path(args.progress_file) if args.progress_file else None,
         )
         build_dashboard(Path(args.html), inputs, emit=print)
     return 0
@@ -226,8 +259,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trace",
         metavar="PATH",
         default=None,
-        help="write a JSONL telemetry trace (CC-state timelines, loss/EXP "
-        "events, link drops) of the whole run to PATH",
+        help="write a telemetry trace (CC-state timelines, loss/EXP "
+        "events, link drops) of the whole run to PATH; the suffix picks "
+        "the format: .jsonl (text), .jsonl.gz (gzip), .rtrc (indexed "
+        "binary store, ~10x smaller, queryable with 'repro-udt trace')",
     )
     runp.add_argument(
         "--trace-packets",
@@ -235,6 +270,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="include per-packet lifecycle events (pkt.snd/pkt.rcv/"
         "link.enq/link.deq) in the trace so 'repro-udt report' can "
         "reconstruct packet spans; much larger traces",
+    )
+    runp.add_argument(
+        "--trace-sample",
+        action="append",
+        default=[],
+        metavar="KIND=POLICY",
+        help="per-kind trace sampling to bound volume, e.g. "
+        "--trace-sample pkt.snd=stride:100 --trace-sample "
+        "link.deq=head:1000 (repeatable; policy recorded in trace.meta)",
     )
     runp.add_argument(
         "--summary",
@@ -304,13 +348,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--trace-dir",
         default=None,
         metavar="DIR",
-        help="write per-experiment JSONL traces to DIR/<exp>.jsonl "
+        help="write per-experiment traces to DIR/<exp>.<trace-format> "
         "(implies execution: trace runs never reuse the cache)",
     )
     sweepp.add_argument(
         "--trace-packets",
         action="store_true",
         help="with --trace-dir, include per-packet lifecycle events",
+    )
+    sweepp.add_argument(
+        "--trace-format",
+        choices=["jsonl", "jsonl.gz", "rtrc"],
+        default="jsonl",
+        help="with --trace-dir, the trace format workers record "
+        "(default jsonl; rtrc is the indexed binary store, ~10x smaller)",
+    )
+    sweepp.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream live per-worker progress (vtime frontier, events/s, "
+        "ETA) as status lines and into the progress feed the dashboard's "
+        "live-run card reads",
+    )
+    sweepp.add_argument(
+        "--progress-file",
+        metavar="PATH",
+        default=None,
+        help="where the progress feed is written (implies --progress "
+        "recording; default <cache-dir>/progress.jsonl)",
     )
     sweepp.add_argument(
         "--bench",
@@ -390,6 +455,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="restrict dashboard pages to these experiment ids",
     )
+    repp.add_argument(
+        "--progress-file",
+        metavar="PATH",
+        default=None,
+        help="a 'sweep --progress' feed (progress.jsonl) to render as the "
+        "dashboard's live-run card",
+    )
+
+    tracep = sub.add_parser(
+        "trace",
+        help="query, inspect and convert telemetry traces (.jsonl, "
+        ".jsonl.gz, .rtrc); .rtrc queries answer from the block index "
+        "without a full scan (see docs/OBSERVABILITY.md)",
+    )
+    from repro.obs.tracecli import add_trace_arguments
+
+    add_trace_arguments(tracep)
 
     lintp = sub.add_parser(
         "lint",
@@ -416,6 +498,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args, parser)
     if args.cmd == "report":
         return _cmd_report(args, parser)
+    if args.cmd == "trace":
+        from repro.obs.tracecli import run_trace
+
+        return run_trace(args, tracep)
     if args.cmd == "lint":
         from repro.analysis.cli import run_lint
 

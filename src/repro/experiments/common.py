@@ -107,14 +107,16 @@ def traced(
     trace_path: Optional[str] = None,
     summary: bool = False,
     packets: bool = False,
+    sample: Optional[Dict[str, Any]] = None,
     **meta: Any,
 ) -> Iterator[Any]:
     """Run any experiment fully traced.
 
-    Subscribes a JSONL writer (when ``trace_path`` is given) and/or a
-    :class:`~repro.obs.export.TraceSummary` to the process default bus,
-    which wakes up every instrumentation point in the stack — protocol
-    cores, links, meters — for the duration of the block::
+    Subscribes a trace writer (when ``trace_path`` is given; the suffix
+    selects JSONL, ``.jsonl.gz``, or the ``.rtrc`` binary store) and/or
+    a :class:`~repro.obs.export.TraceSummary` to the process default
+    bus, which wakes up every instrumentation point in the stack —
+    protocol cores, links, meters — for the duration of the block::
 
         with traced("out.jsonl", summary=True) as session:
             result = get_experiment("fig04").runner()
@@ -123,7 +125,9 @@ def traced(
     ``packets=True`` additionally records the per-packet detail tier
     (``pkt.snd``/``pkt.rcv``/``link.enq``/``link.deq``) so the trace can
     be span-reconstructed with ``repro-udt report`` /
-    :func:`repro.obs.spans.build_spans`.
+    :func:`repro.obs.spans.build_spans`.  ``sample`` applies a per-kind
+    sampling policy (``{kind: "stride:N" | "head:N"}``, recorded in
+    ``trace.meta``) to bound trace volume.
 
     With neither output requested the block runs untraced (the bus stays
     disabled, so the instrumented paths keep their near-zero idle cost).
@@ -131,7 +135,9 @@ def traced(
     """
     from repro.obs.export import trace_session
 
-    with trace_session(trace_path, summary=summary, packets=packets, **meta) as session:
+    with trace_session(
+        trace_path, summary=summary, packets=packets, sample=sample, **meta
+    ) as session:
         yield session
 
 

@@ -11,37 +11,109 @@ other line is an event with at least ``t``/``kind``/``src``.  Flat JSONL
 (rather than nested qlog) keeps the files greppable and streamable —
 ``jq 'select(.kind=="cc.sample")'`` is the expected workflow — while the
 schema field leaves room to evolve.
+
+Trace paths dispatch on suffix, everywhere a trace is read or written:
+
+* ``*.jsonl`` — plain text JSONL (the interchange format above);
+* ``*.jsonl.gz`` / ``*.gz`` — the same stream gzip-compressed (written
+  with a zeroed mtime so identical event streams stay byte-identical);
+* ``*.rtrc`` — the indexed binary store (``repro.obs.store``), the
+  format for packet-tier and paper-scale traces.
+
+``read_events`` yields the same flat dicts for all three, so every
+consumer (timelines, spans, reports, the sanitizer) is format-agnostic.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 import warnings
 from contextlib import contextmanager
 from collections import Counter as _Counter, defaultdict
-from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO
+from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO, Union
 
 from repro.obs.bus import CC_SAMPLE, Event, EventBus, Subscription, default_bus
 
 SCHEMA_VERSION = 1
 
 
-class JsonlWriter:
-    """Streams bus events to a text file as JSON lines."""
+def is_rtrc_path(path: Any) -> bool:
+    """True when ``path`` names an ``.rtrc`` binary trace container."""
+    return str(path).endswith(".rtrc")
 
-    def __init__(self, out: TextIO, close_out: bool = False):
+
+class _DeterministicGzipFile(gzip.GzipFile):
+    """Writable GzipFile with zeroed mtime/name that owns its file.
+
+    The gzip header embeds a timestamp by default, which would break the
+    byte-identity guarantees the sweep runner and sanitizer rely on; a
+    fixed ``mtime=0`` keeps identical event streams byte-identical.
+    Closing also closes the underlying file (GzipFile alone does not
+    close a caller-provided fileobj).
+    """
+
+    def __init__(self, path: str):
+        self._raw = open(path, "wb")
+        super().__init__(filename="", mode="wb", fileobj=self._raw, mtime=0)
+
+    def close(self) -> None:
+        try:
+            super().close()
+        finally:
+            self._raw.close()
+
+
+def open_trace_text(path: str, mode: str = "r") -> TextIO:
+    """Open a JSONL trace path for text I/O, gzip-transparent on suffix."""
+    p = str(path)
+    if p.endswith(".gz"):
+        if "r" in mode:
+            return io.TextIOWrapper(gzip.open(p, "rb"), encoding="utf-8")
+        return io.TextIOWrapper(
+            _DeterministicGzipFile(p), encoding="utf-8", newline="\n"
+        )
+    return open(p, mode)
+
+
+class JsonlWriter:
+    """Streams bus events to a text file as JSON lines.
+
+    ``sample`` takes the per-kind sampling spec of
+    :class:`repro.obs.store.Sampler` (``{kind: "stride:N" | "head:N"}``);
+    the policy is recorded in ``trace.meta`` so downstream consumers
+    know what was dropped.
+    """
+
+    def __init__(
+        self,
+        out: TextIO,
+        close_out: bool = False,
+        sample: Optional[Dict[str, Union[str, int]]] = None,
+    ):
         self._out = out
         self._close_out = close_out
         self.events_written = 0
         self._bus: Optional[EventBus] = None
         self._sub: Optional[Subscription] = None
+        if sample:
+            from repro.obs.store import Sampler
+
+            self.sampler: Optional[Any] = Sampler(sample)
+        else:
+            self.sampler = None
 
     def write_meta(self, **meta: Any) -> None:
         rec = {"kind": "trace.meta", "schema": SCHEMA_VERSION}
         rec.update(meta)
+        if self.sampler:
+            rec.setdefault("sampling", self.sampler.policy())
         self._out.write(json.dumps(rec, separators=(",", ":"), default=str) + "\n")
 
     def on_event(self, ev: Event) -> None:
+        if self.sampler is not None and not self.sampler.admit(ev.kind):
+            return
         self._out.write(
             json.dumps(ev.to_dict(), separators=(",", ":"), default=str) + "\n"
         )
@@ -72,6 +144,23 @@ class JsonlWriter:
             self._out.close()
 
 
+def make_trace_writer(
+    path: str, sample: Optional[Dict[str, Union[str, int]]] = None
+) -> Any:
+    """Create the writer matching ``path``'s trace format.
+
+    ``*.rtrc`` gets the indexed binary store writer; everything else
+    (``*.jsonl``, ``*.jsonl.gz``) a :class:`JsonlWriter`.  Both expose
+    the same ``write_meta``/``on_event``/``attach``/``detach``/``close``
+    surface, so callers never branch on format.
+    """
+    if is_rtrc_path(path):
+        from repro.obs.store import RtrcWriter
+
+        return RtrcWriter(path, sample=sample)
+    return JsonlWriter(open_trace_text(path, "w"), close_out=True, sample=sample)
+
+
 class TruncatedTraceWarning(UserWarning):
     """A JSONL trace contained malformed (usually crash-truncated) lines."""
 
@@ -83,7 +172,11 @@ def read_events(
     strict: bool = False,
     stats: Optional[Dict[str, int]] = None,
 ) -> Iterator[Dict[str, Any]]:
-    """Yield event dicts from a JSONL trace (optionally filtered by kind).
+    """Yield event dicts from a trace (optionally filtered by kind).
+
+    Dispatches on suffix: ``*.rtrc`` routes to the indexed binary
+    reader, ``*.gz`` decompresses transparently, anything else is plain
+    JSONL — the yielded dicts are identical in all cases.
 
     A trace from a crashed or killed run usually ends mid-line; by
     default such malformed lines are skipped (and counted) instead of
@@ -92,31 +185,47 @@ def read_events(
     finishes.  Pass ``strict=True`` to re-raise instead, or a ``stats``
     dict to receive the count under ``stats["skipped_lines"]``.
     """
+    if is_rtrc_path(path):
+        from repro.obs.store import read_rtrc_events
+
+        yield from read_rtrc_events(
+            path, kinds=kinds, include_meta=include_meta, strict=strict, stats=stats
+        )
+        return
     kindset = frozenset(kinds) if kinds is not None else None
     skipped = 0
-    with open(path, "r") as f:
-        for line in f:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                rec = json.loads(line)
-            except json.JSONDecodeError:
-                if strict:
-                    raise
-                skipped += 1
-                continue
-            if not isinstance(rec, dict):
-                if strict:
-                    raise ValueError(f"trace line is not an object: {line[:80]!r}")
-                skipped += 1
-                continue
-            if rec.get("kind") == "trace.meta":
-                if include_meta:
+    with open_trace_text(path, "r") as f:
+        try:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    if strict:
+                        raise
+                    skipped += 1
+                    continue
+                if not isinstance(rec, dict):
+                    if strict:
+                        raise ValueError(
+                            f"trace line is not an object: {line[:80]!r}"
+                        )
+                    skipped += 1
+                    continue
+                if rec.get("kind") == "trace.meta":
+                    if include_meta:
+                        yield rec
+                    continue
+                if kindset is None or rec.get("kind") in kindset:
                     yield rec
-                continue
-            if kindset is None or rec.get("kind") in kindset:
-                yield rec
+        except EOFError:
+            # gzip raises EOFError on a crash-truncated member; treat it
+            # like a malformed trailing JSONL line.
+            if strict:
+                raise
+            skipped += 1
     if stats is not None:
         stats["skipped_lines"] = stats.get("skipped_lines", 0) + skipped
     if skipped:
@@ -134,13 +243,15 @@ def trace_to_file(
     bus: Optional[EventBus] = None,
     kinds: Optional[Iterable[str]] = None,
     packets: bool = False,
+    sample: Optional[Dict[str, Union[str, int]]] = None,
     **meta: Any,
-) -> Iterator[JsonlWriter]:
+) -> Iterator[Any]:
     """Write every event emitted inside the block to ``path``.
 
-    ``packets=True`` wakes the per-packet detail tier too.
+    ``packets=True`` wakes the per-packet detail tier too.  The format
+    follows the suffix (see :func:`make_trace_writer`).
     """
-    writer = JsonlWriter(open(path, "w"), close_out=True)
+    writer = make_trace_writer(path, sample=sample)
     writer.write_meta(packet_detail=packets, **meta)
     writer.attach(bus, kinds=kinds, detail=packets)
     try:
@@ -200,7 +311,7 @@ class TraceSession:
 
     def __init__(
         self,
-        writer: Optional[JsonlWriter] = None,
+        writer: Optional[Any] = None,
         summary: Optional[TraceSummary] = None,
     ):
         self.writer = writer
@@ -221,6 +332,7 @@ def trace_session(
     bus: Optional[EventBus] = None,
     kinds: Optional[Iterable[str]] = None,
     packets: bool = False,
+    sample: Optional[Dict[str, Union[str, int]]] = None,
     **meta: Any,
 ) -> Iterator[TraceSession]:
     """Subscribe a writer and/or summary to ``bus`` for the block's duration.
@@ -229,15 +341,16 @@ def trace_session(
     no-op context (the bus stays disabled and emit sites stay dormant).
     ``packets=True`` additionally wakes the per-packet detail tier
     (``pkt.snd``/``pkt.rcv``/``link.enq``/``link.deq``) so the trace can
-    be span-reconstructed by ``repro-udt report``.
+    be span-reconstructed by ``repro-udt report``.  ``trace_path``'s
+    suffix selects the format (JSONL, ``.jsonl.gz``, or ``.rtrc``).
     """
     bus = bus if bus is not None else default_bus()
     subs: List[Subscription] = []
-    writer: Optional[JsonlWriter] = None
+    writer: Optional[Any] = None
     summ: Optional[TraceSummary] = None
     try:
         if trace_path:
-            writer = JsonlWriter(open(trace_path, "w"), close_out=True)
+            writer = make_trace_writer(trace_path, sample=sample)
             writer.write_meta(packet_detail=packets, **meta)
             subs.append(bus.subscribe(writer.on_event, kinds=kinds, detail=packets))
         if summary:

@@ -156,6 +156,7 @@ class DashboardInputs:
     traces: Dict[str, Path] = field(default_factory=dict)
     profiles: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     sweep_summary: Optional[str] = None
+    progress: Optional[Dict[str, Any]] = None
 
     def exp_ids(self) -> List[str]:
         ids = set(self.tables) | set(self.ledger.get("figures", {})) | set(self.traces)
@@ -170,17 +171,24 @@ def collect_inputs(
     traces: Optional[Dict[str, Path]] = None,
     only: Optional[Sequence[str]] = None,
     sweep_summary: Optional[str] = None,
+    progress_path: Optional[Path] = None,
 ) -> DashboardInputs:
     """Scan the cache / results dir / ledgers into dashboard inputs.
 
-    ``traces`` maps experiment id -> JSONL trace path (e.g. a sweep's
+    ``traces`` maps experiment id -> trace path (e.g. a sweep's
     ``--trace-dir`` output, or the single trace handed to ``repro-udt
-    report``).  Nothing is executed; missing results stay missing.
+    report``).  ``progress_path`` points at a ``sweep --progress`` feed
+    (``progress.jsonl``); when it holds records, the index page gets a
+    live-run card.  Nothing is executed; missing results stay missing.
     """
     from repro.runner.cache import ResultCache
     from repro.runner.sweep import DEFAULT_BENCH, _read_bench
 
     inputs = DashboardInputs(sweep_summary=sweep_summary)
+    if progress_path is not None:
+        from repro.runner.progress import read_progress
+
+        inputs.progress = read_progress(Path(progress_path))
     inputs.ledger = figmod.read_ledger(
         Path(ledger_path) if ledger_path else figmod.DEFAULT_LEDGER
     )
@@ -310,6 +318,81 @@ def _forensics_fragment(exp_id: str, trace_path: Path) -> str:
 # -- page rendering ---------------------------------------------------------
 
 
+def _progress_card(progress: Dict[str, Any]) -> str:
+    """Live-run card from a ``sweep --progress`` feed (progress.jsonl)."""
+    begin = progress.get("begin") or {}
+    end = progress.get("end")
+    workers: Dict[str, Dict[str, Any]] = progress.get("workers") or {}
+    live = end is None
+    title = "Live run" if live else "Last run"
+    sub_bits = []
+    if begin.get("selector"):
+        sub_bits.append(f"sweep {begin['selector']}")
+    if begin.get("scale") is not None:
+        sub_bits.append(f"scale={begin['scale']:g}")
+    if begin.get("jobs") is not None:
+        sub_bits.append(f"jobs={begin['jobs']}")
+    if begin.get("cached"):
+        sub_bits.append(f"{len(begin['cached'])} cached")
+    if end is not None:
+        sub_bits.append(
+            f"finished in {end.get('seconds', 0.0):.1f}s "
+            f"({end.get('executed', 0)} executed, {end.get('failed', 0)} failed)"
+        )
+    ts = progress.get("ts")
+    if live and isinstance(ts, (int, float)):
+        age = max(0.0, time.time() - ts)
+        sub_bits.append(f"last heartbeat {age:.0f}s ago")
+    rows: List[List[Any]] = []
+    order = [e for e in (begin.get("pending") or []) if e in workers]
+    order += [e for e in sorted(workers) if e not in order]
+    for exp_id in order:
+        w = workers[exp_id]
+        hb = w.get("last") or {}
+        status = w.get("status", "running")
+        if status == "done":
+            badge = _badge(True, ok_text=f"✓ done {w.get('seconds', 0.0):.1f}s")
+        elif status == "failed":
+            badge = _badge(False, bad_text="✗ failed")
+        else:
+            badge = _Raw('<span class="dim">● running</span>')
+        vt, vt_end = hb.get("vt"), hb.get("vt_end")
+        if vt is not None and vt_end:
+            frontier = f"{vt:.2f}/{vt_end:.2f}s ({min(100.0, 100.0*vt/vt_end):.0f}%)"
+        elif vt is not None:
+            frontier = f"{vt:.2f}s"
+        else:
+            frontier = "—"
+        eps = hb.get("eps")
+        eta = hb.get("eta")
+        rows.append(
+            [
+                exp_id,
+                badge,
+                frontier,
+                "—" if eps is None else f"{eps/1e3:.0f}k/s",
+                "—" if hb.get("events") is None else f"{hb['events']:,}",
+                "—" if eta is None or status != "running" else f"{eta:.0f}s",
+                "—" if hb.get("wall") is None else f"{hb['wall']:.1f}s",
+            ]
+        )
+    card = [f"<h2>{title}</h2>"]
+    if sub_bits:
+        card.append(f'<p class="note">{_esc(" · ".join(sub_bits))}</p>')
+    if rows:
+        card.append(
+            _html_table(
+                ["experiment", "status", "vtime frontier", "events/s",
+                 "events", "eta", "wall"],
+                rows,
+                numeric_from=2,
+            )
+        )
+    else:
+        card.append('<p class="note">no worker activity recorded.</p>')
+    return f'<div class="card">{"".join(card)}</div>'
+
+
 def _experiment_page(exp_id: str, inputs: DashboardInputs) -> str:
     from repro.experiments import REGISTRY
 
@@ -396,6 +479,8 @@ def _index_page(inputs: DashboardInputs, generated: str) -> str:
         f'<p class="sub">figures, fidelity and runtime history · generated '
         f"{_esc(generated)}</p>",
     ]
+    if inputs.progress:
+        body.append(_progress_card(inputs.progress))
     if inputs.sweep_summary:
         body.append(
             f'<div class="card"><h2>This sweep</h2>'

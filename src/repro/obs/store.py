@@ -1,0 +1,704 @@
+"""Compact, indexed, streaming binary trace store (``.rtrc``).
+
+Flat JSONL (``repro.obs.export``) is the right interchange format, but a
+``--trace-packets`` run of fig08 already emits a 7.1M-line file and
+paper-scale scenarios (400 flows x 100 s) would make plain text
+unwritable, undiffable and unqueryable.  ``.rtrc`` is the same event
+stream in a framed, compressed, *indexed* container:
+
+* events are buffered into **blocks** (default 4096 events); inside a
+  block the kind/src/field-key strings are interned into per-block
+  tables and each event becomes a small JSON row, so the block
+  compresses to a few percent of its JSONL equivalent;
+* every block is **framed** (tag byte + length + zlib payload), so a
+  crash-truncated file is recoverable up to the last complete block —
+  the same contract ``read_events`` gives truncated JSONL;
+* a **footer index** records, per block, the byte offset, event count,
+  time range, per-kind counts and src set.  Readers answer
+  ``kind``/``src``/time-range queries by *skipping* blocks whose index
+  entry cannot match — ``repro-udt trace query`` never inflates what it
+  does not need — and ``stats()`` comes from the index alone;
+* an optional **sampling tier** (per-kind stride / head policies)
+  bounds trace volume with an explicit budget; the policy is recorded
+  in ``trace.meta`` and the per-kind dropped counts in the footer, so
+  downstream consumers know exactly what is missing.
+
+Everything is deterministic — block boundaries depend only on the event
+stream, compression is single-threaded zlib at a fixed level — so the
+byte-identity guarantees the sweep runner and determinism sanitizer make
+for JSONL traces carry over to ``.rtrc`` unchanged.
+
+File layout::
+
+    magic   b"RTRC\\x01\\n"
+    frame   b"M" | u32 len | zlib(trace.meta JSON)      (exactly one)
+    frame   b"B" | u32 len | zlib(block JSON)           (zero or more)
+    frame   b"F" | u32 len | zlib(footer-index JSON)    (exactly one)
+    trailer u64 footer-frame offset | b"RTRCIDX\\x01"
+
+Block JSON: ``{"k": [kinds], "s": [srcs], "f": [field keys],
+"e": [[t, kind_i, src_i, key_i, value, ...], ...]}``.  Decoding a row
+rebuilds the flat event dict in its original key order, so
+``rtrc_to_jsonl(jsonl_to_rtrc(x)) == x`` byte for byte on traces written
+by :class:`~repro.obs.export.JsonlWriter`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import warnings
+import zlib
+from collections import Counter
+from pathlib import Path
+from typing import (
+    Any,
+    BinaryIO,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+MAGIC = b"RTRC\x01\n"
+TRAILER_MAGIC = b"RTRCIDX\x01"
+#: Container layout version (independent of the event schema version).
+STORE_VERSION = 1
+#: Frame tags.
+_TAG_META, _TAG_BLOCK, _TAG_FOOTER = b"M", b"B", b"F"
+_LEN = struct.Struct("<I")
+_OFF = struct.Struct("<Q")
+#: Events buffered per block before compression.
+DEFAULT_BLOCK_EVENTS = 4096
+#: zlib level; fixed so identical event streams give identical bytes.
+COMPRESSION_LEVEL = 6
+
+_dumps = json.dumps
+
+
+class RtrcFormatError(ValueError):
+    """The file is not a well-formed ``.rtrc`` container."""
+
+
+# ---------------------------------------------------------------------------
+# Sampling tier
+# ---------------------------------------------------------------------------
+
+
+class Sampler:
+    """Per-kind deterministic event sampling with an explicit budget.
+
+    Policies (per event kind; unlisted kinds are never dropped):
+
+    * ``"stride:N"`` (or a bare int ``N``) — keep the 1st of every N
+      events of that kind;
+    * ``"head:N"`` — keep only the first N events of that kind.
+
+    Sampling is counter-based, never randomised, so sampled traces stay
+    byte-deterministic across runs and ``--jobs``.  Dropped events are
+    counted per kind in :attr:`dropped` so the trace can record what it
+    does not contain.
+    """
+
+    def __init__(self, spec: Optional[Dict[str, Union[str, int]]] = None):
+        self._rules: Dict[str, Tuple[str, int]] = {}
+        for kind, raw in (spec or {}).items():
+            self._rules[kind] = _parse_policy(raw)
+        self._seen: Counter = Counter()
+        self.dropped: Counter = Counter()
+
+    def __bool__(self) -> bool:
+        return bool(self._rules)
+
+    def admit(self, kind: str) -> bool:
+        rule = self._rules.get(kind)
+        if rule is None:
+            return True
+        mode, n = rule
+        seen = self._seen[kind]
+        self._seen[kind] = seen + 1
+        keep = (seen % n == 0) if mode == "stride" else (seen < n)
+        if not keep:
+            self.dropped[kind] += 1
+        return keep
+
+    def policy(self) -> Dict[str, str]:
+        """Canonical ``{kind: "mode:N"}`` form (what trace.meta records)."""
+        return {k: f"{m}:{n}" for k, (m, n) in sorted(self._rules.items())}
+
+
+def _parse_policy(raw: Union[str, int]) -> Tuple[str, int]:
+    if isinstance(raw, int):
+        mode, n = "stride", raw
+    else:
+        mode, _, num = str(raw).partition(":")
+        if not num:
+            mode, num = "stride", mode
+        n = int(num)
+    if mode not in ("stride", "head") or n < 1:
+        raise ValueError(f"bad sampling policy {raw!r} (want stride:N or head:N)")
+    return mode, n
+
+
+def parse_sample_specs(items: Iterable[str]) -> Dict[str, str]:
+    """Parse CLI ``--trace-sample KIND=POLICY`` items into a spec dict."""
+    spec: Dict[str, str] = {}
+    for item in items:
+        if "=" not in item:
+            raise ValueError(f"--trace-sample expects KIND=POLICY, got {item!r}")
+        kind, _, raw = item.partition("=")
+        mode, n = _parse_policy(raw)  # validate early, error at the CLI
+        spec[kind] = f"{mode}:{n}"
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+
+
+class RtrcWriter:
+    """Streams bus events into an ``.rtrc`` container.
+
+    Same subscriber surface as :class:`~repro.obs.export.JsonlWriter`
+    (``write_meta`` / ``on_event`` / ``attach`` / ``detach`` / ``close``
+    / ``events_written``), so ``trace_session`` and ``trace_to_file``
+    drive either writer interchangeably — the trace path's suffix picks
+    the format.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        block_events: int = DEFAULT_BLOCK_EVENTS,
+        level: int = COMPRESSION_LEVEL,
+        sample: Optional[Dict[str, Union[str, int]]] = None,
+    ):
+        if block_events < 1:
+            raise ValueError("block_events must be >= 1")
+        self.path = Path(path)
+        self._out: BinaryIO = open(self.path, "wb")
+        self._out.write(MAGIC)
+        self.block_events = block_events
+        self.level = level
+        self.sampler = Sampler(sample)
+        self._sampling = bool(self.sampler)
+        self.events_written = 0
+        self._meta_written = False
+        self._rows: List[list] = []
+        # per-pending-block interning state
+        self._kinds: List[str] = []
+        self._kind_ids: Dict[str, int] = {}
+        self._srcs: List[str] = []
+        self._src_ids: Dict[str, int] = {}
+        self._fields: List[str] = []
+        self._field_ids: Dict[str, int] = {}
+        self._index: List[Dict[str, Any]] = []
+        self._bus = None
+        self._sub = None
+        self._closed = False
+
+    # -- meta ------------------------------------------------------------
+    def write_meta(self, **meta: Any) -> None:
+        """Write the ``trace.meta`` record (before any event)."""
+        if self._meta_written:
+            raise RuntimeError("trace.meta already written")
+        from repro.obs.export import SCHEMA_VERSION
+
+        rec = {"kind": "trace.meta", "schema": SCHEMA_VERSION}
+        rec.update(meta)
+        if self.sampler:
+            rec.setdefault("sampling", self.sampler.policy())
+        self._write_meta_record(rec)
+
+    def _write_meta_record(self, rec: Dict[str, Any]) -> None:
+        """Store an already-shaped meta record verbatim (conversion path)."""
+        if self._meta_written:
+            raise RuntimeError("trace.meta already written")
+        self._write_frame(_TAG_META, _dumps(rec, separators=(",", ":"), default=str))
+        self._meta_written = True
+
+    # -- event intake ----------------------------------------------------
+    def on_event(self, ev: Any) -> None:
+        """Bus subscriber entry point (takes a :class:`repro.obs.bus.Event`)."""
+        if self._sampling and not self.sampler.admit(ev.kind):
+            return
+        self._append(ev.t, ev.kind, ev.src, ev.fields.items())
+
+    def feed(self, rec: Dict[str, Any]) -> None:
+        """Ingest a flat JSONL-shaped record (the conversion path).
+
+        ``trace.meta`` records route to the meta frame; everything else
+        is stored as an event with its field order preserved.
+        """
+        if rec.get("kind") == "trace.meta":
+            self._write_meta_record(rec)
+            return
+        kind = rec.get("kind", "")
+        if self._sampling and not self.sampler.admit(kind):
+            return
+        self._append(
+            rec.get("t", 0.0),
+            kind,
+            rec.get("src", ""),
+            ((k, v) for k, v in rec.items() if k not in ("t", "kind", "src")),
+        )
+
+    def _append(
+        self, t: float, kind: str, src: str, fields: Iterable[Tuple[str, Any]]
+    ) -> None:
+        if not self._meta_written:
+            self.write_meta()
+        ki = self._kind_ids.get(kind)
+        if ki is None:
+            ki = self._kind_ids[kind] = len(self._kinds)
+            self._kinds.append(kind)
+        si = self._src_ids.get(src)
+        if si is None:
+            si = self._src_ids[src] = len(self._srcs)
+            self._srcs.append(src)
+        row: list = [t, ki, si]
+        field_ids = self._field_ids
+        for key, value in fields:
+            fi = field_ids.get(key)
+            if fi is None:
+                fi = field_ids[key] = len(self._fields)
+                self._fields.append(key)
+            row.append(fi)
+            row.append(value)
+        self._rows.append(row)
+        self.events_written += 1
+        if len(self._rows) >= self.block_events:
+            self._flush_block()
+
+    # -- framing ---------------------------------------------------------
+    def _write_frame(self, tag: bytes, payload: str) -> int:
+        """Compress + frame one payload; returns the frame's offset."""
+        offset = self._out.tell()
+        data = zlib.compress(payload.encode("utf-8"), self.level)
+        self._out.write(tag)
+        self._out.write(_LEN.pack(len(data)))
+        self._out.write(data)
+        return offset
+
+    def _flush_block(self) -> None:
+        if not self._rows:
+            return
+        rows, kinds = self._rows, self._kinds
+        payload = _dumps(
+            {"k": kinds, "s": self._srcs, "f": self._fields, "e": rows},
+            separators=(",", ":"),
+            default=str,
+        )
+        offset = self._write_frame(_TAG_BLOCK, payload)
+        # Block stats are derived here, once per block, rather than
+        # maintained per event — the append path stays lean.
+        counts = Counter(kinds[r[1]] for r in rows)
+        self._index.append(
+            {
+                "o": offset,
+                "n": len(rows),
+                "t0": min(r[0] for r in rows),
+                "t1": max(r[0] for r in rows),
+                "k": dict(sorted(counts.items())),
+                "s": sorted(self._srcs),
+            }
+        )
+        self._rows = []
+        self._kinds, self._kind_ids = [], {}
+        self._srcs, self._src_ids = [], {}
+        self._fields, self._field_ids = [], {}
+
+    # -- wiring (JsonlWriter-compatible) ---------------------------------
+    def attach(self, bus=None, kinds=None, detail: bool = False) -> "RtrcWriter":
+        if self._sub is not None:
+            raise RuntimeError("writer already attached")
+        from repro.obs.bus import default_bus
+
+        self._bus = bus if bus is not None else default_bus()
+        self._sub = self._bus.subscribe(self.on_event, kinds=kinds, detail=detail)
+        return self
+
+    def detach(self) -> None:
+        if self._bus is not None and self._sub is not None:
+            self._bus.unsubscribe(self._sub)
+        self._bus = self._sub = None
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.detach()
+        if not self._meta_written:
+            self.write_meta()
+        self._flush_block()
+        footer = {
+            "store": STORE_VERSION,
+            "events": self.events_written,
+            "blocks": self._index,
+        }
+        if self.sampler:
+            footer["sampling"] = self.sampler.policy()
+            footer["dropped"] = dict(sorted(self.sampler.dropped.items()))
+        offset = self._write_frame(
+            _TAG_FOOTER, _dumps(footer, separators=(",", ":"))
+        )
+        self._out.write(_OFF.pack(offset))
+        self._out.write(TRAILER_MAGIC)
+        self._out.close()
+        self._closed = True
+
+
+# ---------------------------------------------------------------------------
+# Reader
+# ---------------------------------------------------------------------------
+
+
+def _decode_block(payload: bytes) -> Iterator[Dict[str, Any]]:
+    """Yield flat event dicts from one decompressed block payload."""
+    block = json.loads(payload)
+    kinds, srcs, fields, rows = block["k"], block["s"], block["f"], block["e"]
+    for row in rows:
+        rec = {"t": row[0], "kind": kinds[row[1]], "src": srcs[row[2]]}
+        for i in range(3, len(row), 2):
+            rec[fields[row[i]]] = row[i + 1]
+        yield rec
+
+
+class RtrcReader:
+    """Indexed reader over an ``.rtrc`` container.
+
+    ``iter_events`` uses the footer index to *skip* whole blocks that
+    cannot match the requested kinds/srcs/time range — the counters
+    :attr:`blocks_read` / :attr:`blocks_skipped` record exactly how much
+    of the file was inflated, which is what the query CLI reports and
+    the tests assert on.  A file with a missing or corrupt footer
+    (crash-truncated run) degrades to a sequential frame scan over the
+    complete blocks, mirroring ``read_events``'s tolerance for truncated
+    JSONL; :attr:`truncated` reports that this happened.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._f: BinaryIO = open(self.path, "rb")
+        self.truncated = False
+        self.blocks_read = 0
+        self.blocks_skipped = 0
+        head = self._f.read(len(MAGIC))
+        if head != MAGIC:
+            self._f.close()
+            raise RtrcFormatError(f"{self.path}: not an .rtrc file (bad magic)")
+        self.meta, self.index = self._load_index()
+
+    # -- layout ----------------------------------------------------------
+    def _read_frame_at(self, offset: int, want_tag: bytes) -> bytes:
+        self._f.seek(offset)
+        tag = self._f.read(1)
+        if tag != want_tag:
+            raise RtrcFormatError(
+                f"{self.path}: expected {want_tag!r} frame at {offset}, got {tag!r}"
+            )
+        (clen,) = _LEN.unpack(self._f.read(4))
+        data = self._f.read(clen)
+        if len(data) != clen:
+            raise RtrcFormatError(f"{self.path}: truncated frame at {offset}")
+        return zlib.decompress(data)
+
+    def _load_index(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        try:
+            return self._load_index_from_trailer()
+        except (RtrcFormatError, OSError, struct.error, zlib.error, ValueError):
+            return self._recover_by_scan()
+
+    def _load_index_from_trailer(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        self._f.seek(0, 2)
+        end = self._f.tell()
+        trailer_len = _OFF.size + len(TRAILER_MAGIC)
+        if end < len(MAGIC) + trailer_len:
+            raise RtrcFormatError(f"{self.path}: too short for a trailer")
+        self._f.seek(end - trailer_len)
+        trailer = self._f.read(trailer_len)
+        if trailer[_OFF.size:] != TRAILER_MAGIC:
+            raise RtrcFormatError(f"{self.path}: missing trailer magic")
+        (footer_off,) = _OFF.unpack(trailer[: _OFF.size])
+        footer = json.loads(self._read_frame_at(footer_off, _TAG_FOOTER))
+        meta = json.loads(self._read_frame_at(len(MAGIC), _TAG_META))
+        return meta, footer
+
+    def _recover_by_scan(self) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Rebuild what we can from complete frames (truncated file)."""
+        self.truncated = True
+        meta: Dict[str, Any] = {}
+        blocks: List[Dict[str, Any]] = []
+        events = 0
+        offset = len(MAGIC)
+        self._f.seek(offset)
+        while True:
+            tag = self._f.read(1)
+            if not tag:
+                break
+            raw_len = self._f.read(4)
+            if len(raw_len) != 4:
+                break
+            (clen,) = _LEN.unpack(raw_len)
+            data = self._f.read(clen)
+            if len(data) != clen:
+                break
+            try:
+                payload = zlib.decompress(data)
+            except zlib.error:
+                break
+            if tag == _TAG_META:
+                try:
+                    meta = json.loads(payload)
+                except ValueError:
+                    break
+            elif tag == _TAG_BLOCK:
+                try:
+                    recs = list(_decode_block(payload))
+                except (ValueError, KeyError, IndexError, TypeError):
+                    break
+                ts = [r["t"] for r in recs]
+                kc: Counter = Counter(r["kind"] for r in recs)
+                blocks.append(
+                    {
+                        "o": offset,
+                        "n": len(recs),
+                        "t0": min(ts) if ts else None,
+                        "t1": max(ts) if ts else None,
+                        "k": dict(sorted(kc.items())),
+                        "s": sorted({r["src"] for r in recs}),
+                    }
+                )
+                events += len(recs)
+            elif tag == _TAG_FOOTER:
+                # complete footer found mid-scan: the trailer alone was
+                # damaged; trust the footer.
+                try:
+                    footer = json.loads(payload)
+                    self.truncated = False
+                    return meta, footer
+                except ValueError:
+                    break
+            else:
+                break
+            offset = self._f.tell()
+        return meta, {"store": STORE_VERSION, "events": events, "blocks": blocks}
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def blocks_total(self) -> int:
+        return len(self.index.get("blocks", []))
+
+    @property
+    def events_total(self) -> int:
+        return int(self.index.get("events", 0))
+
+    @property
+    def dropped(self) -> Dict[str, int]:
+        """Per-kind counts the sampling tier dropped (empty if unsampled)."""
+        return dict(self.index.get("dropped", {}))
+
+    def kind_counts(self) -> Dict[str, int]:
+        """Aggregate per-kind event counts, from the index alone."""
+        total: Counter = Counter()
+        for blk in self.index.get("blocks", []):
+            total.update(blk.get("k", {}))
+        return dict(sorted(total.items()))
+
+    def srcs(self) -> List[str]:
+        out: set = set()
+        for blk in self.index.get("blocks", []):
+            out.update(blk.get("s", []))
+        return sorted(out)
+
+    def time_range(self) -> Tuple[Optional[float], Optional[float]]:
+        t0s = [b["t0"] for b in self.index.get("blocks", []) if b.get("t0") is not None]
+        t1s = [b["t1"] for b in self.index.get("blocks", []) if b.get("t1") is not None]
+        return (min(t0s) if t0s else None, max(t1s) if t1s else None)
+
+    def stats(self) -> Dict[str, Any]:
+        """Index-only summary (no block is decompressed)."""
+        t0, t1 = self.time_range()
+        return {
+            "path": str(self.path),
+            "events": self.events_total,
+            "blocks": self.blocks_total,
+            "t0": t0,
+            "t1": t1,
+            "kinds": self.kind_counts(),
+            "srcs": self.srcs(),
+            "sampling": self.index.get("sampling", {}),
+            "dropped": self.dropped,
+            "truncated": self.truncated,
+        }
+
+    def _block_matches(
+        self,
+        blk: Dict[str, Any],
+        kinds: Optional[frozenset],
+        srcs: Optional[frozenset],
+        t0: Optional[float],
+        t1: Optional[float],
+    ) -> bool:
+        if kinds is not None and not kinds.intersection(blk.get("k", {})):
+            return False
+        if srcs is not None and not srcs.intersection(blk.get("s", [])):
+            return False
+        b0, b1 = blk.get("t0"), blk.get("t1")
+        if t0 is not None and b1 is not None and b1 < t0:
+            return False
+        if t1 is not None and b0 is not None and b0 > t1:
+            return False
+        return True
+
+    def iter_events(
+        self,
+        kinds: Optional[Iterable[str]] = None,
+        srcs: Optional[Iterable[str]] = None,
+        t0: Optional[float] = None,
+        t1: Optional[float] = None,
+        include_meta: bool = False,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield flat event dicts, skipping non-matching blocks via index."""
+        kindset = frozenset(kinds) if kinds is not None else None
+        srcset = frozenset(srcs) if srcs is not None else None
+        if include_meta and self.meta:
+            yield self.meta
+        for blk in self.index.get("blocks", []):
+            if not self._block_matches(blk, kindset, srcset, t0, t1):
+                self.blocks_skipped += 1
+                continue
+            payload = self._read_frame_at(blk["o"], _TAG_BLOCK)
+            self.blocks_read += 1
+            for rec in _decode_block(payload):
+                if kindset is not None and rec["kind"] not in kindset:
+                    continue
+                if srcset is not None and rec["src"] not in srcset:
+                    continue
+                t = rec["t"]
+                if t0 is not None and t < t0:
+                    continue
+                if t1 is not None and t > t1:
+                    continue
+                yield rec
+
+    def iter_jsonl(self, **query: Any) -> Iterator[str]:
+        """Matching events as canonical JSONL lines (no trailing newline)."""
+        for rec in self.iter_events(**query):
+            yield _dumps(rec, separators=(",", ":"), default=str)
+
+    def close(self) -> None:
+        self._f.close()
+
+    def __enter__(self) -> "RtrcReader":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_rtrc_events(
+    path: Union[str, Path],
+    kinds: Optional[Iterable[str]] = None,
+    include_meta: bool = False,
+    strict: bool = False,
+    stats: Optional[Dict[str, Any]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """``read_events``-contract generator over an ``.rtrc`` file.
+
+    The meta record is filtered out unless ``include_meta`` (matching
+    the JSONL reader); truncated containers yield every complete block
+    and warn with :class:`~repro.obs.export.TruncatedTraceWarning`
+    (``strict=True`` raises instead).
+    """
+    from repro.obs.export import TruncatedTraceWarning
+
+    with RtrcReader(path) as reader:
+        if reader.truncated:
+            if strict:
+                raise RtrcFormatError(
+                    f"{path}: truncated .rtrc container (missing footer)"
+                )
+            warnings.warn(
+                f"{path}: truncated .rtrc container — recovered "
+                f"{reader.events_total} events from complete blocks "
+                "(crash-truncated trace?)",
+                TruncatedTraceWarning,
+                stacklevel=2,
+            )
+        for rec in reader.iter_events(kinds=kinds, include_meta=include_meta):
+            yield rec
+        if stats is not None:
+            stats["skipped_lines"] = stats.get("skipped_lines", 0)
+            stats["blocks_read"] = reader.blocks_read
+            stats["blocks_skipped"] = reader.blocks_skipped
+            stats["truncated"] = reader.truncated
+
+
+def event_region_offset(path: Union[str, Path]) -> int:
+    """Byte offset of the first block frame (just past the meta frame).
+
+    Everything from this offset on is a pure function of the event
+    stream (framing and zlib are deterministic), so two containers with
+    identical events are byte-identical from here to EOF — which is what
+    the determinism sanitizer's streaming diff exploits.
+    """
+    with open(path, "rb") as f:
+        head = f.read(len(MAGIC))
+        if head != MAGIC:
+            raise RtrcFormatError(f"{path}: not an .rtrc file (bad magic)")
+        tag = f.read(1)
+        if tag != _TAG_META:
+            raise RtrcFormatError(f"{path}: expected meta frame, got {tag!r}")
+        raw_len = f.read(4)
+        if len(raw_len) != 4:
+            raise RtrcFormatError(f"{path}: truncated meta frame")
+        (clen,) = _LEN.unpack(raw_len)
+        return len(MAGIC) + 1 + 4 + clen
+
+
+# ---------------------------------------------------------------------------
+# Conversion
+# ---------------------------------------------------------------------------
+
+
+def jsonl_to_rtrc(
+    src: Union[str, Path],
+    dst: Union[str, Path],
+    block_events: int = DEFAULT_BLOCK_EVENTS,
+    sample: Optional[Dict[str, Union[str, int]]] = None,
+) -> int:
+    """Re-encode a JSONL trace as ``.rtrc``; returns events written.
+
+    The meta record and every event field are stored verbatim (in their
+    original key order), so converting back with :func:`rtrc_to_jsonl`
+    reproduces the input byte for byte (absent sampling).
+    """
+    from repro.obs.export import read_events
+
+    writer = RtrcWriter(dst, block_events=block_events, sample=sample)
+    try:
+        for rec in read_events(str(src), include_meta=True):
+            writer.feed(rec)
+    finally:
+        writer.close()
+    return writer.events_written
+
+
+def rtrc_to_jsonl(src: Union[str, Path], dst: Union[str, Path]) -> int:
+    """Expand an ``.rtrc`` container to flat JSONL; returns events written."""
+    from repro.obs.export import open_trace_text
+
+    n = 0
+    with RtrcReader(src) as reader, open_trace_text(str(dst), "w") as out:
+        if reader.meta:
+            out.write(_dumps(reader.meta, separators=(",", ":"), default=str) + "\n")
+        for line in reader.iter_jsonl():
+            out.write(line + "\n")
+            n += 1
+    return n

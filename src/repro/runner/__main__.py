@@ -25,16 +25,27 @@ from typing import List, Optional
 
 
 def _run_worker_mode(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     from repro.experiments import get_experiment
     from repro.experiments.common import scale, traced
 
     exp = get_experiment(args.worker)
-    with traced(
-        args.trace,
-        packets=args.trace_packets,
-        generator="repro-udt sweep",
-        experiments=[args.worker],
-    ):
+    with ExitStack() as stack:
+        if args.progress:
+            # heartbeat JSON lines on stdout — the parent sweep reads
+            # them off the subprocess pipe (repro.runner.progress)
+            from repro.runner.progress import ProgressReporter
+
+            stack.enter_context(ProgressReporter(args.worker))
+        stack.enter_context(
+            traced(
+                args.trace,
+                packets=args.trace_packets,
+                generator="repro-udt sweep",
+                experiments=[args.worker],
+            )
+        )
         t0 = time.perf_counter()
         result = exp.runner()
         seconds = time.perf_counter() - t0
@@ -79,8 +90,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--digest", default="", help="digest to echo into the entry")
     parser.add_argument("--out", help="where the worker writes its entry JSON")
-    parser.add_argument("--trace", default=None, help="JSONL trace path")
+    parser.add_argument(
+        "--trace", default=None, help="trace path (.jsonl/.jsonl.gz/.rtrc)"
+    )
     parser.add_argument("--trace-packets", action="store_true")
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="emit sweep.heartbeat JSON lines on stdout for the parent",
+    )
     parser.add_argument("--baseline", help="baseline ledger for --gate")
     parser.add_argument("--key", default=None, help="only gate this sweep key")
     parser.add_argument(

@@ -98,12 +98,17 @@ def select_experiments(only: Optional[Sequence[str]]) -> Tuple[str, List[str]]:
     return ",".join(ids), ids
 
 
+#: Trace formats ``--trace-dir`` sweeps can record (file suffix = format).
+TRACE_FORMATS = ("jsonl", "jsonl.gz", "rtrc")
+
+
 def _worker_cmd(
     exp_id: str,
     digest: str,
     out_path: Path,
     trace_path: Optional[Path],
     trace_packets: bool,
+    progress: bool = False,
 ) -> List[str]:
     cmd = [
         sys.executable,
@@ -120,6 +125,8 @@ def _worker_cmd(
         cmd += ["--trace", str(trace_path)]
         if trace_packets:
             cmd.append("--trace-packets")
+    if progress:
+        cmd.append("--progress")
     return cmd
 
 
@@ -143,20 +150,53 @@ def _run_worker(
     tmp_dir: Path,
     trace_dir: Optional[Path],
     trace_packets: bool,
+    trace_format: str = "jsonl",
+    board: Optional[Any] = None,
 ) -> Dict[str, Any]:
-    """Execute one experiment in a fresh interpreter; returns its entry."""
+    """Execute one experiment in a fresh interpreter; returns its entry.
+
+    With a :class:`~repro.runner.progress.ProgressBoard` the worker runs
+    with ``--progress`` and its stdout heartbeat lines stream into the
+    board as they arrive.  Worker stderr spools to a file (not a pipe)
+    so a chatty crash can never deadlock against the stdout reader.
+    """
     out_path = tmp_dir / f"{exp_id}.json"
-    trace_path = trace_dir / f"{exp_id}.jsonl" if trace_dir is not None else None
-    cmd = _worker_cmd(exp_id, digest, out_path, trace_path, trace_packets)
-    proc = subprocess.run(
-        cmd,
-        env=_worker_env(scale),
-        stdout=subprocess.PIPE,
-        stderr=subprocess.PIPE,
-        text=True,
+    trace_path = (
+        trace_dir / f"{exp_id}.{trace_format}" if trace_dir is not None else None
     )
+    cmd = _worker_cmd(
+        exp_id, digest, out_path, trace_path, trace_packets,
+        progress=board is not None,
+    )
+    if board is not None:
+        board.worker_start(exp_id)
+    stderr_path = tmp_dir / f"{exp_id}.stderr"
+    with open(stderr_path, "w", encoding="utf-8") as err:
+        proc = subprocess.Popen(
+            cmd,
+            env=_worker_env(scale),
+            stdout=subprocess.PIPE,
+            stderr=err,
+            text=True,
+        )
+        assert proc.stdout is not None
+        for line in proc.stdout:
+            line = line.strip()
+            if not line or board is None:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(rec, dict) and rec.get("kind") == "sweep.heartbeat":
+                board.heartbeat(exp_id, rec)
+        proc.wait()
     if proc.returncode != 0:
-        tail = "\n".join(proc.stderr.strip().splitlines()[-8:])
+        try:
+            stderr_text = stderr_path.read_text(encoding="utf-8")
+        except OSError:
+            stderr_text = ""
+        tail = "\n".join(stderr_text.strip().splitlines()[-8:])
         raise RuntimeError(
             f"worker for {exp_id} exited {proc.returncode}:\n{tail}"
         )
@@ -172,25 +212,51 @@ def run_sweep(
     force: bool = False,
     trace_dir: Optional[Path] = None,
     trace_packets: bool = False,
+    trace_format: str = "jsonl",
+    progress: bool = False,
+    progress_path: Optional[Path] = None,
     emit: Optional[Emit] = None,
 ) -> SweepReport:
     """Run (or cache-skip) every selected experiment; returns the report.
 
-    ``trace_dir`` asks each worker to write ``<exp_id>.jsonl`` there; a
+    ``trace_dir`` asks each worker to write ``<exp_id>.<trace_format>``
+    there (``trace_format`` one of ``jsonl``/``jsonl.gz``/``rtrc``); a
     trace run always executes (a cache hit has no trace to hand back),
     which is what makes ``--jobs 1`` vs ``--jobs N`` trace comparisons
     meaningful.  ``force`` ignores cache hits but still stores results.
+
+    ``progress`` streams worker heartbeats into per-experiment status
+    lines and appends every record to ``progress_path`` (default
+    ``<cache>/progress.jsonl``), which the dashboard renders as a
+    live-run card (docs/OBSERVABILITY.md).
     """
     from repro.experiments.common import scale as env_scale
 
     say: Emit = emit if emit is not None else (lambda s: None)
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if trace_format not in TRACE_FORMATS:
+        raise ValueError(
+            f"trace_format must be one of {TRACE_FORMATS}, got {trace_format!r}"
+        )
     if scale is None:
         scale = env_scale()
     selector, ids = select_experiments(only)
     cache = ResultCache(cache_dir)
     report = SweepReport(selector=selector, scale=scale, jobs=jobs, experiments=ids)
+
+    board = None
+    if progress or progress_path is not None:
+        from repro.runner.progress import ProgressBoard, default_progress_path
+
+        board = ProgressBoard(
+            path=(
+                Path(progress_path)
+                if progress_path is not None
+                else default_progress_path(cache_dir)
+            ),
+            emit=say if progress else None,
+        )
 
     t0 = time.perf_counter()
     pending: List[str] = []
@@ -207,6 +273,10 @@ def run_sweep(
         else:
             pending.append(exp_id)
 
+    if board is not None:
+        board.sweep_begin(
+            selector, scale, jobs, pending=pending, cached=report.cached
+        )
     if trace_dir is not None:
         trace_dir.mkdir(parents=True, exist_ok=True)
     with tempfile.TemporaryDirectory(prefix="repro-sweep-") as tmp:
@@ -226,6 +296,8 @@ def run_sweep(
                     tmp_dir,
                     trace_dir,
                     trace_packets,
+                    trace_format,
+                    board,
                 ): exp_id
                 for exp_id in pending
             }
@@ -235,17 +307,25 @@ def run_sweep(
                     entry = fut.result()
                 except Exception as exc:  # worker crash: report, keep going
                     report.failures[exp_id] = str(exc)
+                    if board is not None:
+                        board.worker_failed(exp_id, str(exc))
                     say(f"[sweep] {exp_id}: FAILED ({exc})")
                     continue
                 report.executed.append(exp_id)
                 sec = float(entry.get("seconds", 0.0))
                 report.exp_seconds[exp_id] = sec
                 cache.store(report.digests[exp_id], entry)
+                if board is not None:
+                    board.worker_done(exp_id, sec)
                 say(f"[sweep] {exp_id}: ran in {sec:.1f}s")
     # registry order, not completion order
     report.executed.sort(key=ids.index)
     report.seconds = time.perf_counter() - t0
     report.corrupt_dropped = cache.corrupt_dropped
+    if board is not None:
+        board.sweep_end(
+            report.seconds, len(report.executed), len(report.failures)
+        )
     return report
 
 

@@ -449,6 +449,93 @@ def test_diff_traces_rejects_headerless_file(tmp_path):
         diff_traces(a, b)
 
 
+def _write_rtrc(path, lines):
+    from repro.obs.store import RtrcWriter
+
+    w = RtrcWriter(path, block_events=4)
+    for rec in [_META] + lines:
+        w.feed(json.loads(rec))
+    w.close()
+
+
+def test_diff_traces_streams_over_gzip(tmp_path):
+    import gzip
+
+    events = ['{"t": 0.0, "kind": "pkt.snd", "seq": %d}' % i for i in range(10)]
+    mutated = list(events)
+    mutated[4] = '{"t": 0.0, "kind": "pkt.snd", "seq": 444}'
+    a, b = tmp_path / "a.jsonl.gz", tmp_path / "b.jsonl.gz"
+    for path, lines in ((a, events), (b, mutated)):
+        with gzip.open(path, "wt") as f:
+            f.write("\n".join([_META] + lines) + "\n")
+    n, div = diff_traces(a, a)
+    assert n == 10 and div is None
+    _, div = diff_traces(a, b)
+    assert div is not None and div.index == 4 and '"seq": 444' in div.line_b
+
+
+def test_diff_traces_rtrc_identical_and_divergent(tmp_path):
+    events = ['{"t": 0.0, "kind": "pkt.snd", "seq": %d}' % i for i in range(10)]
+    mutated = list(events)
+    mutated[7] = '{"t": 0.0, "kind": "pkt.snd", "seq": 777}'
+    a, b = tmp_path / "a.rtrc", tmp_path / "b.rtrc"
+    _write_rtrc(a, events)
+    _write_rtrc(b, mutated)
+    n, div = diff_traces(a, a)
+    assert n == 10 and div is None
+    _, div = diff_traces(a, b)
+    assert div is not None and div.index == 7
+    assert '"seq":777' in div.line_b  # canonical JSONL from the store
+    assert len(div.context) == 5
+
+
+def test_diff_traces_rtrc_length_mismatch(tmp_path):
+    events = ['{"t": 0.0, "kind": "pkt.snd", "seq": %d}' % i for i in range(6)]
+    a, b = tmp_path / "a.rtrc", tmp_path / "b.rtrc"
+    _write_rtrc(a, events)
+    _write_rtrc(b, events[:3])
+    _, div = diff_traces(a, b)
+    assert div is not None and div.index == 3 and div.line_b is None
+
+
+def test_diff_traces_reblocked_rtrc_counts_as_equal(tmp_path):
+    """Different block boundaries change the bytes but not the events."""
+    from repro.obs.store import RtrcWriter
+
+    events = ['{"t": 0.0, "kind": "pkt.snd", "seq": %d}' % i for i in range(10)]
+    a, b = tmp_path / "a.rtrc", tmp_path / "b.rtrc"
+    _write_rtrc(a, events)  # block_events=4
+    w = RtrcWriter(b, block_events=3)
+    for rec in [_META] + events:
+        w.feed(json.loads(rec))
+    w.close()
+    assert a.read_bytes() != b.read_bytes()
+    n, div = diff_traces(a, b)
+    assert n == 10 and div is None
+
+
+def test_sanitizer_rejects_unknown_format():
+    from repro.analysis.sanitizer import DeterminismSanitizer
+
+    with pytest.raises(ValueError):
+        DeterminismSanitizer("fig02", trace_format="csv")
+
+
+@pytest.mark.slow
+def test_sanitizer_end_to_end_rtrc(tmp_path):
+    """Dual perturbed subprocess runs recording .rtrc, diffed streaming."""
+    from repro.analysis.sanitizer import DeterminismSanitizer
+
+    result = DeterminismSanitizer(
+        "fig09",
+        overrides={"n_events": 30, "max_burst": 100},
+        trace_format="rtrc",
+        workdir=str(tmp_path),
+    ).run()
+    assert result.deterministic
+    assert all(run["trace"].endswith(".rtrc") for run in result.runs)
+
+
 def test_sanitizer_result_json_shape(tmp_path):
     div = Divergence(index=3, line_a="x", line_b="y", context=["c"])
     res = SanitizerResult("fig02", False, 3, divergence=div)

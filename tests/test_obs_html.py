@@ -165,6 +165,72 @@ class TestDashboard:
         assert "✗ drifted" in (out / "fig08.html").read_text()
 
 
+class TestProgressCard:
+    def _feed(self, tmp_path, finished=True):
+        from repro.runner.progress import HEARTBEAT, ProgressBoard
+
+        path = tmp_path / "progress.jsonl"
+        board = ProgressBoard(path=path)
+        board.sweep_begin("fig08,table1", 0.05, 2,
+                          pending=["fig08"], cached=["table1"])
+        board.worker_start("fig08")
+        board.heartbeat(
+            "fig08",
+            {"kind": HEARTBEAT, "exp": "fig08", "wall": 1.4, "events": 89_000,
+             "vt": 2.0, "vt_end": 5.0, "eps": 209_000, "eta": 1.2},
+        )
+        if finished:
+            board.worker_done("fig08", 2.5)
+            board.sweep_end(3.0, executed=1, failed=0)
+        return path
+
+    def _build(self, tmp_path, populated, feed):
+        inputs = collect_inputs(
+            cache_dir=populated["cache_dir"],
+            bench_path=populated["bench"],
+            ledger_path=populated["ledger"],
+            progress_path=feed,
+        )
+        out = tmp_path / "dash"
+        build_dashboard(out, inputs)
+        return (out / "index.html").read_text()
+
+    def test_finished_sweep_renders_last_run_card(self, tmp_path, populated):
+        index = self._build(tmp_path, populated, self._feed(tmp_path))
+        assert "Last run" in index
+        assert "vtime frontier" in index
+        assert "✓ done 2.5s" in index
+        assert "2.00/5.00s (40%)" in index
+        assert "1 cached" in index
+
+    def test_unfinished_sweep_renders_live_card(self, tmp_path, populated):
+        feed = self._feed(tmp_path, finished=False)
+        index = self._build(tmp_path, populated, feed)
+        assert "Live run" in index
+        assert "● running" in index
+        assert "last heartbeat" in index
+
+    def test_no_feed_no_card(self, tmp_path, populated):
+        index = self._build(tmp_path, populated, tmp_path / "missing.jsonl")
+        assert "Live run" not in index and "Last run" not in index
+
+    def test_report_cli_progress_file_flag(self, tmp_path, populated, capsys):
+        feed = self._feed(tmp_path)
+        out_dir = tmp_path / "dash"
+        rc = cli_main(
+            [
+                "report", "--html", str(out_dir),
+                "--cache-dir", str(populated["cache_dir"]),
+                "--bench", str(populated["bench"]),
+                "--ledger", str(populated["ledger"]),
+                "--progress-file", str(feed),
+            ]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        assert "Last run" in (out_dir / "index.html").read_text()
+
+
 class TestReportCli:
     def _summary_trace(self, tmp_path):
         """A real summary-only (no packet detail) trace of a tiny run."""

@@ -1,0 +1,447 @@
+"""The .rtrc binary trace store: round-trips, index queries, sampling.
+
+The contract under test is the one the trace pipeline stands on:
+
+* every consumer (``read_events``, ``TimelineRecorder.from_jsonl``,
+  ``build_spans``, the report CLI) sees the *same* flat event dicts from
+  ``.jsonl``, ``.jsonl.gz`` and ``.rtrc`` traces of one run;
+* ``jsonl -> rtrc -> jsonl`` is byte-exact, and an ``.rtrc`` written
+  live off the bus is byte-identical to one converted from the JSONL of
+  the same run (deterministic blocks + fixed-level zlib);
+* kind/src/time-range queries answer from the footer index, *skipping*
+  blocks — asserted via the reader's block counters;
+* truncated containers degrade to the complete-block prefix with a
+  warning, like crash-truncated JSONL.
+
+The shared fixture records one packet-tier fig04 run once with all
+three writers attached to the same bus, so live-vs-file comparisons
+are exact (process-global packet uids make two *sequential* runs
+legitimately differ).
+"""
+
+import gzip
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.obs import TimelineRecorder, trace_to_file
+from repro.obs.export import open_trace_text, read_events
+from repro.obs.spans import build_spans
+from repro.obs.store import (
+    RtrcFormatError,
+    RtrcReader,
+    RtrcWriter,
+    Sampler,
+    event_region_offset,
+    jsonl_to_rtrc,
+    parse_sample_specs,
+    read_rtrc_events,
+    rtrc_to_jsonl,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+RUN_KW = dict(n_flows=2, rate_bps=20e6, rtts=(0.01,), duration=3.0)
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One packet-tier fig04 run recorded to all three formats at once."""
+    d = tmp_path_factory.mktemp("traces")
+    jsonl, gz, rtrc = d / "t.jsonl", d / "t.jsonl.gz", d / "t.rtrc"
+    live = TimelineRecorder()
+    live.attach()
+    try:
+        with trace_to_file(str(jsonl), packets=True, generator="test"), \
+             trace_to_file(str(gz), packets=True, generator="test"), \
+             trace_to_file(str(rtrc), packets=True, generator="test"):
+            get_experiment("fig04").runner(**RUN_KW)
+    finally:
+        live.detach()
+    return SimpleNamespace(dir=d, jsonl=jsonl, gz=gz, rtrc=rtrc, live=live)
+
+
+# -- byte-level round trips -------------------------------------------------
+
+
+class TestRoundTrip:
+    def test_rtrc_is_much_smaller_than_jsonl(self, traced_run):
+        ratio = traced_run.rtrc.stat().st_size / traced_run.jsonl.stat().st_size
+        assert ratio <= 0.25, f".rtrc is {ratio:.1%} of the JSONL size"
+
+    def test_gz_stream_equals_plain_jsonl(self, traced_run):
+        with gzip.open(traced_run.gz, "rb") as f:
+            assert f.read() == traced_run.jsonl.read_bytes()
+
+    def test_live_rtrc_equals_converted_rtrc(self, traced_run, tmp_path):
+        """Bus -> .rtrc and bus -> .jsonl -> .rtrc give identical bytes."""
+        conv = tmp_path / "conv.rtrc"
+        n = jsonl_to_rtrc(traced_run.jsonl, conv)
+        assert n > 1000
+        assert conv.read_bytes() == traced_run.rtrc.read_bytes()
+
+    def test_rtrc_to_jsonl_is_byte_exact(self, traced_run, tmp_path):
+        back = tmp_path / "back.jsonl"
+        n = rtrc_to_jsonl(traced_run.rtrc, back)
+        assert back.read_bytes() == traced_run.jsonl.read_bytes()
+        with RtrcReader(traced_run.rtrc) as reader:
+            assert n == reader.events_total
+
+    def test_gz_to_rtrc_matches_plain_to_rtrc(self, traced_run, tmp_path):
+        a, b = tmp_path / "a.rtrc", tmp_path / "b.rtrc"
+        jsonl_to_rtrc(traced_run.jsonl, a)
+        jsonl_to_rtrc(traced_run.gz, b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+# -- consumer equivalence across formats ------------------------------------
+
+
+class TestConsumerEquivalence:
+    def test_read_events_yields_identical_dicts(self, traced_run):
+        ja = list(read_events(str(traced_run.jsonl), include_meta=True))
+        gb = list(read_events(str(traced_run.gz), include_meta=True))
+        rb = list(read_events(str(traced_run.rtrc), include_meta=True))
+        assert len(ja) > 10_000
+        assert ja == gb == rb
+
+    def test_timeline_rebuild_matches_live(self, traced_run):
+        from_jsonl = TimelineRecorder.from_jsonl(str(traced_run.jsonl))
+        from_rtrc = TimelineRecorder.from_jsonl(str(traced_run.rtrc))
+        live = traced_run.live
+        assert from_jsonl.connections() == live.connections()
+        assert from_rtrc.connections() == live.connections()
+        for conn in live.connections():
+            assert from_jsonl.series(conn) == live.series(conn)
+            assert from_rtrc.series(conn) == live.series(conn)
+        assert from_jsonl.marks == live.marks
+        assert from_rtrc.marks == live.marks
+
+    def test_spanset_identical_across_formats(self, traced_run):
+        sj = build_spans(str(traced_run.jsonl))
+        sr = build_spans(str(traced_run.rtrc))
+        assert sj.events_consumed == sr.events_consumed > 10_000
+        assert sj.connections() == sr.connections()
+        for conn in sj.connections():
+            assert sj.forensics(conn) == sr.forensics(conn)
+
+
+# -- index-based querying ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def indexed(traced_run, tmp_path_factory):
+    """The run's trace re-blocked small, so index skipping is visible."""
+    path = tmp_path_factory.mktemp("indexed") / "small-blocks.rtrc"
+    jsonl_to_rtrc(traced_run.jsonl, path, block_events=512)
+    return path
+
+
+def _scan(path, kinds=None, srcs=None, t0=None, t1=None):
+    out = []
+    for rec in read_events(str(path), kinds=kinds):
+        if srcs is not None and rec.get("src") not in srcs:
+            continue
+        t = rec.get("t", 0.0)
+        if t0 is not None and t < t0:
+            continue
+        if t1 is not None and t > t1:
+            continue
+        out.append(rec)
+    return out
+
+
+class TestIndexQueries:
+    def test_rare_kind_query_skips_blocks(self, traced_run, indexed):
+        with RtrcReader(indexed) as reader:
+            counts = reader.kind_counts()
+            # the rarest kind lives in few blocks; the index must skip
+            # the rest rather than inflate them
+            kind = min(counts, key=counts.get)
+            got = list(reader.iter_events(kinds=[kind]))
+            assert reader.blocks_read < reader.blocks_total
+            assert reader.blocks_skipped > 0
+            assert reader.blocks_read + reader.blocks_skipped == reader.blocks_total
+        assert got == _scan(traced_run.jsonl, kinds=[kind])
+
+    def test_time_range_query_matches_scan_and_skips(self, traced_run, indexed):
+        with RtrcReader(indexed) as reader:
+            lo, hi = reader.time_range()
+            t0 = lo + (hi - lo) * 0.4
+            t1 = lo + (hi - lo) * 0.45
+            got = list(reader.iter_events(t0=t0, t1=t1))
+            assert reader.blocks_skipped > 0
+        assert got == _scan(traced_run.jsonl, t0=t0, t1=t1)
+
+    def test_src_query_matches_scan(self, traced_run, indexed):
+        with RtrcReader(indexed) as reader:
+            src = reader.srcs()[0]
+            got = list(reader.iter_events(srcs=[src]))
+        assert got == _scan(traced_run.jsonl, srcs={src})
+        assert got, "src filter matched nothing"
+
+    def test_stats_come_from_index_alone(self, traced_run, indexed):
+        with RtrcReader(indexed) as reader:
+            stats = reader.stats()
+            assert reader.blocks_read == 0  # nothing decompressed
+        expected = {}
+        for rec in read_events(str(traced_run.jsonl)):
+            expected[rec["kind"]] = expected.get(rec["kind"], 0) + 1
+        assert stats["kinds"] == expected
+        assert stats["events"] == sum(expected.values())
+        assert not stats["truncated"]
+
+    def test_read_events_stats_carry_block_counters(self, indexed):
+        stats = {}
+        with RtrcReader(indexed) as reader:
+            counts = reader.kind_counts()
+        kind = min(counts, key=counts.get)
+        n = sum(1 for _ in read_events(str(indexed), kinds=[kind], stats=stats))
+        assert n == counts[kind]
+        assert stats["blocks_read"] >= 1
+        assert stats["blocks_skipped"] > 0
+        assert stats["skipped_lines"] == 0
+
+
+# -- truncation recovery ----------------------------------------------------
+
+
+def _tiny_rtrc(path, n=1000, block_events=100):
+    w = RtrcWriter(path, block_events=block_events)
+    w.write_meta(generator="test")
+    for i in range(n):
+        w.feed({"t": i * 0.001, "kind": "cc.sample", "src": "s", "seq": i})
+    w.close()
+    return path
+
+
+class TestTruncation:
+    def test_missing_trailer_with_intact_footer_recovers_fully(self, tmp_path):
+        p = _tiny_rtrc(tmp_path / "t.rtrc")
+        data = p.read_bytes()
+        p.write_bytes(data[:-16])  # drop the u64 offset + trailer magic
+        with RtrcReader(p) as reader:
+            assert not reader.truncated  # footer found by frame scan
+            assert reader.events_total == 1000
+
+    def test_mid_block_truncation_yields_complete_prefix(self, tmp_path):
+        p = _tiny_rtrc(tmp_path / "t.rtrc")
+        p.write_bytes(p.read_bytes()[: p.stat().st_size // 2])
+        with pytest.warns(UserWarning, match="truncated"):
+            events = list(read_rtrc_events(p))
+        assert events
+        assert len(events) % 100 == 0  # whole blocks only
+        assert len(events) < 1000
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_strict_raises_on_truncation(self, tmp_path):
+        p = _tiny_rtrc(tmp_path / "t.rtrc")
+        p.write_bytes(p.read_bytes()[: p.stat().st_size // 2])
+        with pytest.raises(RtrcFormatError):
+            list(read_rtrc_events(p, strict=True))
+
+    def test_bad_magic_rejected(self, tmp_path):
+        p = tmp_path / "bad.rtrc"
+        p.write_bytes(b"not a container at all")
+        with pytest.raises(RtrcFormatError):
+            RtrcReader(p)
+
+
+# -- sampling tier ----------------------------------------------------------
+
+
+class TestSampling:
+    def test_stride_and_head_policies(self):
+        s = Sampler({"a": "stride:3", "b": "head:2"})
+        kept_a = [s.admit("a") for _ in range(7)]
+        kept_b = [s.admit("b") for _ in range(4)]
+        assert kept_a == [True, False, False, True, False, False, True]
+        assert kept_b == [True, True, False, False]
+        assert s.admit("unlisted") is True
+        assert s.dropped == {"a": 4, "b": 2}
+        assert s.policy() == {"a": "stride:3", "b": "head:2"}
+
+    def test_bare_int_means_stride(self):
+        s = Sampler({"a": 2})
+        assert [s.admit("a") for _ in range(4)] == [True, False, True, False]
+
+    def test_parse_sample_specs_validates(self):
+        assert parse_sample_specs(["pkt.snd=stride:10", "x=head:5"]) == {
+            "pkt.snd": "stride:10",
+            "x": "head:5",
+        }
+        assert parse_sample_specs(["pkt.snd=100"]) == {"pkt.snd": "stride:100"}
+        with pytest.raises(ValueError):
+            parse_sample_specs(["no-equals"])
+        with pytest.raises(ValueError):
+            parse_sample_specs(["k=bogus:1"])
+        with pytest.raises(ValueError):
+            parse_sample_specs(["k=stride:0"])
+
+    def test_sampled_conversion_records_budget(self, traced_run, tmp_path):
+        full = {}
+        for rec in read_events(str(traced_run.jsonl)):
+            full[rec["kind"]] = full.get(rec["kind"], 0) + 1
+        out = tmp_path / "sampled.rtrc"
+        jsonl_to_rtrc(traced_run.jsonl, out, sample={"pkt.snd": "stride:10"})
+        with RtrcReader(out) as reader:
+            counts = reader.kind_counts()
+            kept = counts["pkt.snd"]
+            assert kept == (full["pkt.snd"] + 9) // 10
+            assert reader.dropped == {"pkt.snd": full["pkt.snd"] - kept}
+            assert reader.stats()["sampling"] == {"pkt.snd": "stride:10"}
+            # unlisted kinds are untouched
+            for kind, n in counts.items():
+                if kind != "pkt.snd":
+                    assert n == full[kind]
+
+    def test_live_sampling_lands_in_trace_meta(self, tmp_path):
+        from repro.sim.topology import path_topology
+        from repro.udt import start_udt_flow
+
+        path = tmp_path / "sampled.jsonl"
+        with trace_to_file(
+            str(path), generator="test", sample={"cc.sample": "head:5"}
+        ):
+            top = path_topology(20e6, 0.01)
+            start_udt_flow(top.net, top.src, top.dst)
+            top.net.run(until=2.0)
+        meta = next(read_events(str(path), include_meta=True))
+        assert meta["sampling"] == {"cc.sample": "head:5"}
+        n_cc = sum(
+            1 for r in read_events(str(path)) if r["kind"] == "cc.sample"
+        )
+        assert n_cc == 5
+
+
+# -- container layout -------------------------------------------------------
+
+
+class TestLayout:
+    def test_event_region_offset_lands_on_first_block(self, tmp_path):
+        p = _tiny_rtrc(tmp_path / "t.rtrc")
+        off = event_region_offset(p)
+        with open(p, "rb") as f:
+            f.seek(off)
+            assert f.read(1) == b"B"
+
+    def test_event_region_offset_rejects_non_rtrc(self, tmp_path):
+        p = tmp_path / "x.rtrc"
+        p.write_bytes(b"junk")
+        with pytest.raises(RtrcFormatError):
+            event_region_offset(p)
+
+    def test_block_events_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            RtrcWriter(tmp_path / "x.rtrc", block_events=0)
+
+    def test_empty_trace_roundtrips(self, tmp_path):
+        p = tmp_path / "empty.rtrc"
+        w = RtrcWriter(p)
+        w.write_meta(generator="test")
+        w.close()
+        with RtrcReader(p) as reader:
+            assert reader.events_total == 0
+            assert reader.blocks_total == 0
+            assert reader.meta["generator"] == "test"
+        assert list(read_rtrc_events(p)) == []
+
+
+# -- the trace CLI ----------------------------------------------------------
+
+
+class TestTraceCli:
+    def _main(self, *argv):
+        from repro.cli import main
+
+        return main(list(argv))
+
+    def test_query_by_kind_matches_full_scan(self, traced_run, indexed, capsys):
+        with RtrcReader(indexed) as reader:
+            counts = reader.kind_counts()
+        kind = min(counts, key=counts.get)
+        assert self._main("trace", "query", str(indexed), "--kind", kind) == 0
+        out, err = capsys.readouterr()
+        rows = [json.loads(l) for l in out.splitlines()]
+        assert rows == _scan(traced_run.jsonl, kinds=[kind])
+        assert f"[query] {len(rows)} matching" in err
+        assert "skipped" in err  # the index tally is reported
+
+    def test_query_stats_and_tail(self, indexed, capsys):
+        assert self._main("trace", "query", str(indexed), "--stats") == 0
+        out, _ = capsys.readouterr()
+        assert "cc.sample" in out
+        assert self._main(
+            "trace", "query", str(indexed), "--kind", "cc.sample", "--tail", "3"
+        ) == 0
+        out, _ = capsys.readouterr()
+        assert len(out.splitlines()) == 3
+
+    def test_query_to_jsonl_carries_meta(self, indexed, tmp_path, capsys):
+        dst = tmp_path / "slice.jsonl"
+        assert self._main(
+            "trace", "query", str(indexed), "--kind", "cc.sample",
+            "--to-jsonl", str(dst),
+        ) == 0
+        capsys.readouterr()
+        first = dst.read_text().splitlines()[0]
+        assert '"trace.meta"' in first
+
+    def test_info_json(self, indexed, capsys):
+        assert self._main("trace", "info", str(indexed), "--json") == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["format"] == "rtrc"
+        assert stats["events"] > 10_000
+        assert stats["meta"]["kind"] == "trace.meta"
+
+    def test_convert_chain_via_cli(self, traced_run, tmp_path, capsys):
+        rtrc = tmp_path / "c.rtrc"
+        back = tmp_path / "c.jsonl"
+        assert self._main(
+            "trace", "convert", str(traced_run.jsonl), str(rtrc)
+        ) == 0
+        assert self._main("trace", "convert", str(rtrc), str(back)) == 0
+        capsys.readouterr()
+        assert back.read_bytes() == traced_run.jsonl.read_bytes()
+
+    def test_missing_file_exits_2(self, capsys):
+        assert self._main("trace", "info", "/no/such/trace.rtrc") == 2
+        assert "error" in capsys.readouterr().err
+
+
+# -- gzip traces end-to-end from the run CLI --------------------------------
+
+
+class TestGzipCli:
+    def test_run_writes_gz_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "run.jsonl.gz"
+        rc = main(
+            [
+                "run", "fig09", "--trace", str(path),
+                "--set", "n_events=20", "--set", "max_burst=50",
+            ]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        assert path.exists()
+        meta = next(read_events(str(path), include_meta=True))
+        assert meta["kind"] == "trace.meta"
+
+    def test_truncated_gz_is_tolerated(self, traced_run, tmp_path):
+        cut = tmp_path / "cut.jsonl.gz"
+        cut.write_bytes(traced_run.gz.read_bytes()[: traced_run.gz.stat().st_size // 2])
+        with pytest.warns(UserWarning, match="malformed"):
+            events = list(read_events(str(cut)))
+        assert events  # complete prefix still served
+
+    def test_open_trace_text_gz_roundtrip_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.jsonl.gz", tmp_path / "b.jsonl.gz"
+        for p in (a, b):
+            with open_trace_text(str(p), "w") as f:
+                f.write('{"kind":"trace.meta","schema":1}\n')
+                f.write('{"t":0.1,"kind":"x","src":"s"}\n')
+        assert a.read_bytes() == b.read_bytes()  # zeroed mtime

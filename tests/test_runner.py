@@ -198,6 +198,24 @@ class TestSweepEndToEnd:
             assert entry["exp_id"] == exp_id
             assert entry["result"]["rows"], f"{exp_id}: empty result cached"
 
+    def test_fig08_rtrc_packet_trace_jobs_independent_and_compact(self, tmp_path):
+        """The PR's acceptance bar: a packet-tier fig08 sweep traced to
+        .rtrc is byte-identical across --jobs and a fraction of the
+        JSONL size."""
+        from repro.obs.store import rtrc_to_jsonl
+
+        kw = dict(only=["fig08"], scale=SCALE, cache_dir=tmp_path / "cache",
+                  trace_packets=True, trace_format="rtrc")
+        t1 = run_sweep(jobs=1, trace_dir=tmp_path / "tr1", **kw)
+        t4 = run_sweep(jobs=4, trace_dir=tmp_path / "tr4", **kw)
+        assert t1.ok and t4.ok
+        rtrc = tmp_path / "tr1" / "fig08.rtrc"
+        assert rtrc.read_bytes() == (tmp_path / "tr4" / "fig08.rtrc").read_bytes()
+        back = tmp_path / "fig08.jsonl"
+        n = rtrc_to_jsonl(rtrc, back)
+        assert n > 100_000  # the packet tier was actually recorded
+        assert rtrc.stat().st_size <= 0.25 * back.stat().st_size
+
     def test_failure_is_reported_not_raised(self, tmp_path, monkeypatch):
         import repro.runner.sweep as sweep_mod
 

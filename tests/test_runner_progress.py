@@ -1,0 +1,209 @@
+"""Live sweep telemetry: worker heartbeats, the progress board, the feed.
+
+The reporter is tested against a real engine run (the frame-inspection
+event counter has no other honest test) and with a stub simulator for
+the rate/ETA arithmetic; the board and ``read_progress`` are pure
+record-folding and test directly.  The end-to-end ``sweep --progress``
+path (subprocess pipe included) lives in the slow tier with the other
+subprocess sweeps.
+"""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro.runner.progress import (
+    HEARTBEAT,
+    ProgressBoard,
+    ProgressReporter,
+    default_progress_path,
+    read_progress,
+)
+
+SCALE = 0.05
+
+
+def _tiny_run():
+    from repro.sim.topology import path_topology
+    from repro.udt import start_udt_flow
+
+    top = path_topology(20e6, 0.01)
+    start_udt_flow(top.net, top.src, top.dst)
+    top.net.run(until=2.0)
+    return top.net.sim
+
+
+class TestReporter:
+    def test_patch_is_restored(self):
+        from repro.sim import engine
+
+        orig = engine.Simulator.run
+        rep = ProgressReporter("x", interval=10.0, out=io.StringIO())
+        with rep:
+            assert engine.Simulator.run is not orig
+        assert engine.Simulator.run is orig
+
+    def test_double_start_rejected(self):
+        rep = ProgressReporter("x", interval=10.0, out=io.StringIO())
+        with rep:
+            with pytest.raises(RuntimeError):
+                rep.start()
+
+    def test_events_accumulate_across_runs(self):
+        rep = ProgressReporter("x", interval=10.0, out=io.StringIO())
+        with rep:
+            sim1 = _tiny_run()
+            sim2 = _tiny_run()
+            rec = rep.sample()
+        assert rec["kind"] == HEARTBEAT and rec["exp"] == "x"
+        assert rec["events"] == sim1.events_processed + sim2.events_processed
+        assert rec["events"] > 1000
+        assert "vt" not in rec  # no simulator running at sample time
+
+    def test_rate_and_eta_from_stub_sim(self):
+        class Stub:
+            now = 1.0
+            events_processed = 0
+
+        rep = ProgressReporter("x", interval=10.0, out=io.StringIO())
+        rep._cur_sim = Stub()
+        rep._cur_until = 5.0
+        first = rep.sample()
+        assert first["vt"] == 1.0 and first["vt_end"] == 5.0
+        Stub.now = 2.0
+        rep._events_done = 50_000
+        time.sleep(0.1)  # a measurable wall delta
+        second = rep.sample()
+        assert second["eps"] > 0
+        # 3 virtual seconds left at 1 virtual second per wall interval
+        dw = second["wall"] - first["wall"]
+        assert second["eta"] == pytest.approx(3.0 * dw, abs=0.1)
+
+    def test_heartbeat_thread_writes_json_lines(self):
+        out = io.StringIO()
+        with ProgressReporter("x", interval=0.02, out=out):
+            time.sleep(0.1)
+        lines = [l for l in out.getvalue().splitlines() if l]
+        assert lines, "no heartbeat emitted"
+        for line in lines:
+            rec = json.loads(line)
+            assert rec["kind"] == HEARTBEAT
+
+
+class TestBoard:
+    def _feed(self, path):
+        board = ProgressBoard(path=path, line_interval=0.0)
+        board.sweep_begin("fig02", 0.05, 2, pending=["fig02"], cached=["fig09"])
+        board.worker_start("fig02")
+        board.heartbeat(
+            "fig02",
+            {"kind": HEARTBEAT, "exp": "fig02", "wall": 1.0, "events": 1000,
+             "vt": 2.0, "vt_end": 5.0, "eps": 1000, "eta": 3.0},
+        )
+        board.worker_done("fig02", 2.5)
+        board.sweep_end(3.0, executed=1, failed=0)
+        return board
+
+    def test_records_are_stamped_and_appended(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        self._feed(path)
+        recs = [json.loads(l) for l in path.read_text().splitlines()]
+        kinds = [r["kind"] for r in recs]
+        assert kinds == [
+            "sweep.begin", "sweep.worker_start", HEARTBEAT,
+            "sweep.worker_done", "sweep.end",
+        ]
+        assert all("ts" in r for r in recs)
+
+    def test_begin_truncates_previous_feed(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        path.write_text("stale\n")
+        ProgressBoard(path=path)
+        assert path.read_text() == ""
+
+    def test_status_lines_are_rate_limited(self, tmp_path):
+        lines = []
+        board = ProgressBoard(
+            path=tmp_path / "p.jsonl", emit=lines.append, line_interval=60.0
+        )
+        hb = {"kind": HEARTBEAT, "exp": "fig02", "wall": 1.0, "events": 10}
+        board.heartbeat("fig02", hb)
+        board.heartbeat("fig02", hb)
+        assert len(lines) == 1  # second one suppressed
+        board.heartbeat("fig08", dict(hb, exp="fig08"))
+        assert len(lines) == 2  # per-experiment limiter
+
+    def test_format_line_renders_frontier_and_eta(self):
+        line = ProgressBoard.format_line(
+            "fig02",
+            {"vt": 2.0, "vt_end": 5.0, "eps": 209_000, "events": 89_000,
+             "eta": 1.2, "wall": 0.4},
+        )
+        assert "[progress] fig02" in line
+        assert "vt   2.000/5.000s ( 40%)" in line
+        assert "209k ev/s" in line and "89k events" in line
+        assert "eta 1s" in line and "wall 0.4s" in line
+
+    def test_read_progress_folds_the_feed(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        self._feed(path)
+        view = read_progress(path)
+        assert view["begin"]["selector"] == "fig02"
+        assert view["end"]["executed"] == 1
+        w = view["workers"]["fig02"]
+        assert w["status"] == "done" and w["seconds"] == 2.5
+        assert w["last"]["vt"] == 2.0
+        assert view["ts"] is not None
+
+    def test_read_progress_failed_and_running(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        board = ProgressBoard(path=path)
+        board.sweep_begin("all", 0.05, 2, pending=["a", "b"], cached=[])
+        board.worker_start("a")
+        board.worker_start("b")
+        board.worker_failed("a", "boom")
+        view = read_progress(path)
+        assert view["end"] is None  # still live
+        assert view["workers"]["a"]["status"] == "failed"
+        assert view["workers"]["a"]["error"] == "boom"
+        assert view["workers"]["b"]["status"] == "running"
+
+    def test_read_progress_missing_or_empty_is_none(self, tmp_path):
+        assert read_progress(tmp_path / "nope.jsonl") is None
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert read_progress(empty) is None
+
+    def test_read_progress_tolerates_mid_write_truncation(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        self._feed(path)
+        with open(path, "a") as f:
+            f.write('{"kind":"sweep.heartb')  # torn final line
+        view = read_progress(path)
+        assert view["workers"]["fig02"]["status"] == "done"
+
+    def test_default_progress_path_lives_in_cache_dir(self, tmp_path):
+        assert default_progress_path(tmp_path) == tmp_path / "progress.jsonl"
+
+
+@pytest.mark.slow
+class TestSweepProgressEndToEnd:
+    def test_progress_feed_records_worker_lifecycle(self, tmp_path):
+        from repro.runner.sweep import run_sweep
+
+        feed = tmp_path / "progress.jsonl"
+        report = run_sweep(
+            only=["fig09"], jobs=1, scale=SCALE,
+            cache_dir=tmp_path / "cache", progress_path=feed,
+        )
+        assert report.ok
+        kinds = [
+            json.loads(l)["kind"] for l in feed.read_text().splitlines()
+        ]
+        assert kinds[0] == "sweep.begin" and kinds[-1] == "sweep.end"
+        assert "sweep.worker_start" in kinds
+        assert "sweep.worker_done" in kinds
+        view = read_progress(feed)
+        assert view["workers"]["fig09"]["status"] == "done"
