@@ -3,14 +3,22 @@
 The invariants this reproduction leans on — 31-bit wrap-around sequence
 arithmetic, a sans-IO protocol core, a machine-checked telemetry schema,
 reproducible discrete-event runs — were conventions until this package;
-now they are enforced properties.  Four AST checkers run over
-``src/repro`` through a small driver (:mod:`repro.analysis.core`):
+now they are enforced properties.  Six checkers run over ``src/repro``
+through a small driver (:mod:`repro.analysis.core`); the dataflow tier
+(``seqno-taint``/``units``/``thread-shared-state``) is built on the CFG +
+taint framework in :mod:`repro.analysis.flow`:
 
 =================== ========================================================
 rule                what it enforces
 =================== ========================================================
-``seqno-arith``     no raw ``<``/``>``/``+``/``-``/``==`` on sequence
-                    numbers outside ``repro/udt/seqno.py``
+``seqno-taint``     no raw ``<``/``>``/``+``/``-``/``==`` on values
+                    *derived from* wrap-around sequence numbers, tracked
+                    through locals/attributes/returns (supersedes the
+                    syntactic ``seqno-arith`` of PR 3)
+``units``           dimensional consistency (s/us/bytes/pkts/pps/bps),
+                    seeded from udt/params.py and sim/engine.py
+``thread-shared-state`` the progress daemon thread reads only declared
+                    allowlisted attributes; no cross-thread mutation
 ``sansio-purity``   no wall clocks, unseeded RNG, sockets or threads in
                     ``repro/udt/`` and ``repro/sim/``
 ``event-schema``    every ``bus.emit`` payload and consumer key access
@@ -18,6 +26,12 @@ rule                what it enforces
 ``vtime-determinism`` no float ``==`` between virtual times; no
                     scheduling out of unordered iteration
 =================== ========================================================
+
+The behavioural half: :mod:`repro.analysis.protomodel` statically
+extracts a per-flow event-order model from the ``udt/core.py`` handler
+structure (committed as ``analysis/protocol_model.json``) and
+:mod:`repro.analysis.conformance` checks recorded traces against it
+(``repro-udt conform TRACE`` / ``repro-udt lint --conformance TRACE``).
 
 The runtime half, :class:`repro.analysis.sanitizer.DeterminismSanitizer`,
 runs an experiment twice with perturbed same-vtime tie-breaking and hash
@@ -49,14 +63,18 @@ from repro.analysis.core import (
 )
 from repro.analysis.event_schema import EventSchemaChecker
 from repro.analysis.sansio import SansioPurityChecker
-from repro.analysis.seqno_arith import SeqnoArithChecker
+from repro.analysis.seqno_taint import SeqnoTaintChecker
+from repro.analysis.threads import ThreadSharedStateChecker
+from repro.analysis.units import UnitsChecker
 from repro.analysis.vtime import VtimeDeterminismChecker
 
 
 def all_checkers() -> List[Checker]:
     """Fresh instances of every registered checker, in rule order."""
     return [
-        SeqnoArithChecker(),
+        SeqnoTaintChecker(),
+        UnitsChecker(),
+        ThreadSharedStateChecker(),
         SansioPurityChecker(),
         EventSchemaChecker(),
         VtimeDeterminismChecker(),

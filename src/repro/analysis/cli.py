@@ -1,12 +1,18 @@
 """Command-line surface for the analysis suite.
 
-Shared by two entry points: ``repro-udt lint`` (the subcommand wired
-into :mod:`repro.cli`) and ``python -m repro.analysis`` (the same lint
-driver, importable without the rest of the CLI; also hosts the hidden
-``--worker`` mode the determinism sanitizer spawns).
+Shared by two entry points: ``repro-udt lint`` / ``repro-udt conform``
+(the subcommands wired into :mod:`repro.cli`) and ``python -m
+repro.analysis`` (the same lint driver, importable without the rest of
+the CLI; also hosts the hidden ``--worker`` mode the determinism
+sanitizer spawns).
 
-Exit codes: 0 = clean (no non-baselined findings / sanitizer agreed),
-1 = new findings or divergence, 2 = usage/configuration error.
+Exit codes: 0 = clean (no non-baselined findings / sanitizer agreed /
+trace conforms), 1 = new findings, divergence or violations,
+2 = usage/configuration error.
+
+Full-rule lint runs also maintain ``analysis/.lintstatus.json`` — a
+small merge-updated status file (last lint outcome, last conformance
+verdicts) the HTML dashboard renders as its code-health card.
 """
 
 from __future__ import annotations
@@ -25,7 +31,32 @@ from repro.analysis.baseline import (
     load_baseline,
     write_baseline,
 )
-from repro.analysis.core import default_root
+from repro.analysis.core import default_root, repo_root
+
+#: merge-updated status file consumed by the dashboard's code-health card.
+STATUS_RELPATH = "analysis/.lintstatus.json"
+
+
+def update_status(section: str, payload: Dict[str, Any]) -> Optional[Path]:
+    """Merge one section into ``analysis/.lintstatus.json`` (best-effort)."""
+    repo = repo_root()
+    if repo is None:
+        return None
+    path = repo / STATUS_RELPATH
+    data: Dict[str, Any] = {}
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        data = {}
+    if not isinstance(data, dict) or data.get("schema") != 1:
+        data = {"schema": 1, "kind": "lint.status"}
+    data[section] = dict(payload, updated=time.time())
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+    except OSError:
+        return None
+    return path
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -86,6 +117,28 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="trace format the --sanitize runs record and diff "
         "(default: jsonl)",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the incremental lint cache "
+        "(analysis/.lintcache.json); full-rule runs use it by default",
+    )
+    parser.add_argument(
+        "--conformance",
+        action="append",
+        default=[],
+        metavar="TRACE",
+        help="additionally check this trace (.rtrc/.jsonl[.gz]) against "
+        "the extracted protocol model (repeatable); violations fail the "
+        "run like findings do",
+    )
+    parser.add_argument(
+        "--model",
+        metavar="PATH",
+        default=None,
+        help="protocol model to check traces against (default: the "
+        "committed analysis/protocol_model.json)",
+    )
 
 
 def _parse_overrides(
@@ -121,9 +174,21 @@ def run_lint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if not root.is_dir():
         parser.error(f"not a directory: {root}")
 
+    # The incremental cache only serves full-rule runs over the default
+    # root — a --rule or --root selection would poison its entries.
+    cache = None
+    if rules is None and args.root is None and not getattr(args, "no_cache", False):
+        from repro.analysis.lintcache import open_cache
+
+        cache = open_cache(repo_root(), root)
+
     t0 = time.perf_counter()
-    findings = run_checkers(root, all_checkers(), rules=rules)
+    findings = run_checkers(root, all_checkers(), rules=rules, cache=cache)
     elapsed = time.perf_counter() - t0
+    if cache is not None:
+        cache.save()
+
+    conform_reports = _run_conformance(args, parser)
 
     baseline_path = (
         Path(args.baseline) if args.baseline else default_baseline_path()
@@ -149,6 +214,8 @@ def run_lint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             "elapsed_s": round(elapsed, 3),
             "findings": [f.to_dict() for f in findings],
         }
+        if conform_reports is not None:
+            payload["conformance"] = [r.to_dict() for r in conform_reports]
         if args.json:
             json.dump(payload, sys.stdout, indent=2)
             sys.stdout.write("\n")
@@ -159,7 +226,10 @@ def run_lint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
                 f"[lint: {len(findings)} finding(s), rules "
                 f"{','.join(sorted(rules))}, {elapsed:.2f}s]"
             )
-        return 1 if findings else 0
+            for r in conform_reports or ():
+                print(r.format())
+        bad_traces = any(not r.ok for r in conform_reports or ())
+        return 1 if findings or bad_traces else 0
 
     baseline = load_baseline(baseline_path) if baseline_path.is_file() else []
     cmp = compare(findings, baseline)
@@ -171,7 +241,12 @@ def run_lint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         **cmp.to_dict(),
     }
 
+    if conform_reports is not None:
+        payload["conformance"] = [r.to_dict() for r in conform_reports]
+
     rc = 0 if cmp.gate_passed else 1
+    if any(not r.ok for r in conform_reports or ()):
+        rc = 1
     sanitize_result = None
     if args.sanitize:
         from repro.analysis.sanitizer import DeterminismSanitizer
@@ -186,6 +261,28 @@ def run_lint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         if not sanitize_result.deterministic:
             rc = 1
 
+    update_status(
+        "lint",
+        {
+            "findings": len(findings),
+            "new": len(cmp.new),
+            "baselined": len(cmp.baselined),
+            "fixed": len(cmp.fixed),
+            "gate_passed": cmp.gate_passed,
+            "elapsed_s": round(elapsed, 3),
+            "cache": (
+                {"hits": cache.hits, "misses": cache.misses}
+                if cache is not None
+                else None
+            ),
+        },
+    )
+    if conform_reports is not None:
+        update_status(
+            "conformance",
+            {"traces": [r.to_dict() for r in conform_reports]},
+        )
+
     if args.json:
         json.dump(payload, sys.stdout, indent=2)
         sys.stdout.write("\n")
@@ -193,10 +290,15 @@ def run_lint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
 
     for f in cmp.new:
         print(f.format())
+    cache_note = (
+        f", cache {cache.hits} hit/{cache.misses} analysed"
+        if cache is not None
+        else ""
+    )
     summary = (
         f"[lint: {len(findings)} finding(s) — {len(cmp.new)} new, "
         f"{len(cmp.baselined)} baselined, {len(cmp.fixed)} fixed vs baseline; "
-        f"{elapsed:.2f}s]"
+        f"{elapsed:.2f}s{cache_note}]"
     )
     print(summary)
     if cmp.fixed:
@@ -204,9 +306,79 @@ def run_lint(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             "[note: baseline lists finding(s) no longer present — "
             "refresh it with --write-baseline]"
         )
+    for r in conform_reports or ():
+        print(r.format())
     if sanitize_result is not None:
         print(sanitize_result.format())
     return rc
+
+
+def _run_conformance(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> Optional[List[Any]]:
+    """Check every --conformance trace; None when none were requested."""
+    traces = getattr(args, "conformance", None) or []
+    if not traces:
+        return None
+    from repro.analysis.conformance import check_trace
+    from repro.analysis.protomodel import load_model
+
+    model_path = Path(args.model) if getattr(args, "model", None) else None
+    try:
+        model = load_model(model_path)
+    except (OSError, ValueError) as exc:
+        parser.error(f"cannot load protocol model: {exc}")
+    reports = []
+    for trace in traces:
+        if not Path(trace).is_file():
+            parser.error(f"no such trace: {trace}")
+        reports.append(check_trace(trace, model=model))
+    return reports
+
+
+def add_conform_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the ``conform`` subcommand options."""
+    parser.add_argument(
+        "traces",
+        nargs="+",
+        metavar="TRACE",
+        help="trace file(s) (.rtrc/.jsonl[.gz]) to check against the "
+        "protocol model",
+    )
+    parser.add_argument(
+        "--model",
+        metavar="PATH",
+        default=None,
+        help="protocol model JSON (default: committed "
+        "analysis/protocol_model.json, extracted live as a fallback)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the reports as JSON on stdout",
+    )
+
+
+def run_conform(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Entry point for ``repro-udt conform``."""
+    shim = argparse.Namespace(conformance=args.traces, model=args.model)
+    reports = _run_conformance(shim, parser) or []
+    update_status("conformance", {"traces": [r.to_dict() for r in reports]})
+    if args.json:
+        json.dump(
+            {
+                "schema": 1,
+                "kind": "conformance.report",
+                "traces": [r.to_dict() for r in reports],
+            },
+            sys.stdout,
+            indent=2,
+        )
+        sys.stdout.write("\n")
+    else:
+        for r in reports:
+            print(r.format())
+    return 1 if any(not r.ok for r in reports) else 0
 
 
 def _run_worker(args: argparse.Namespace) -> int:

@@ -8,11 +8,14 @@ check) collect state per module and report from :meth:`Checker.finalize`.
 
 Findings are suppressible in source with a trailing comment::
 
-    if ack_seq == self._last_ack_seq_sent:  # lint: disable=seqno-arith
+    if ack_seq == self._last_ack_seq_sent:  # lint: disable=seqno-taint
 
 or for a whole file with ``# lint: disable-file=<rule>`` on any line.
-Suppressions are deliberate, reviewed exceptions — the comment should
-say *why* the rule does not apply (see docs/ANALYSIS.md).
+For a statement that spans several physical lines the comment may sit on
+*any* of them — the suppression covers the whole statement, so black-style
+wrapped calls don't force the comment onto the (often mid-expression)
+anchor line.  Suppressions are deliberate, reviewed exceptions — the
+comment should say *why* the rule does not apply (see docs/ANALYSIS.md).
 """
 
 from __future__ import annotations
@@ -85,6 +88,7 @@ class ModuleContext:
         self.line_suppressions: Dict[int, frozenset] = {}
         self.file_suppressions: frozenset = frozenset()
         self._scan_suppressions()
+        self._extend_suppression_spans()
 
     def _scan_suppressions(self) -> None:
         file_rules: set = set()
@@ -99,6 +103,42 @@ class ModuleContext:
             if m:
                 file_rules.update(r.strip() for r in m.group(1).split(",") if r.strip())
         self.file_suppressions = frozenset(file_rules)
+
+    def _extend_suppression_spans(self) -> None:
+        """Spread a suppression over its whole multi-line simple statement.
+
+        A comment on any physical line of a wrapped *simple* statement
+        (assignment, call, return, ...) suppresses for every line the
+        statement occupies, so findings anchored to a sub-expression on a
+        different line than the comment are still covered.  Compound
+        statements (``if``/``for``/``def``...) keep exact-line semantics —
+        blanket-suppressing a whole block from its header comment would
+        hide far more than the author reviewed.
+        """
+        if not self.line_suppressions:
+            return
+        compound = (
+            ast.If, ast.For, ast.AsyncFor, ast.While, ast.With,
+            ast.AsyncWith, ast.Try, ast.FunctionDef, ast.AsyncFunctionDef,
+            ast.ClassDef,
+        )
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt) or isinstance(node, compound):
+                continue
+            start = getattr(node, "lineno", None)
+            end = getattr(node, "end_lineno", None)
+            if start is None or end is None or end <= start:
+                continue
+            span = range(start, end + 1)
+            rules = frozenset().union(
+                *(self.line_suppressions.get(ln, frozenset()) for ln in span)
+            )
+            if not rules:
+                continue
+            for ln in span:
+                self.line_suppressions[ln] = rules | self.line_suppressions.get(
+                    ln, frozenset()
+                )
 
     def suppressed(self, rule: str, line: int) -> bool:
         if rule in self.file_suppressions or "all" in self.file_suppressions:
@@ -139,6 +179,23 @@ class Checker:
         """Per-module findings (suppressions applied by the driver)."""
         return ()
 
+    def module_summary(self, ctx: ModuleContext) -> Any:
+        """JSON-serialisable per-module facts for the incremental cache.
+
+        Called right after :meth:`check_module`.  Whatever it returns is
+        cached alongside the module's findings; on a later run where the
+        file is unchanged, :meth:`consume_summary` is fed the cached value
+        *instead of* re-running ``check_module``.  Checkers whose
+        :meth:`finalize` depends on cross-module state collected during
+        ``check_module`` MUST route that state through this pair, or the
+        cache would silently starve ``finalize``.  Purely per-module
+        checkers return ``None`` (the default) — nothing to replay.
+        """
+        return None
+
+    def consume_summary(self, relpath: str, summary: Any) -> None:
+        """Replay a cached :meth:`module_summary` value for ``relpath``."""
+
     def finalize(self) -> Iterable[Finding]:
         """Whole-project findings, after every module has been seen."""
         return ()
@@ -170,29 +227,56 @@ def run_checkers(
     root: Path,
     checkers: Sequence[Checker],
     rules: Optional[Sequence[str]] = None,
+    cache: Optional["ModuleCache"] = None,
 ) -> List[Finding]:
     """Run ``checkers`` over every module under ``root``.
 
     ``rules`` filters to a subset of rule ids (suppression comments and
     parse errors always apply).  Findings come back sorted by
     (path, line, rule) with suppressed ones removed.
+
+    ``cache`` (see :mod:`repro.analysis.lintcache`) short-circuits
+    unchanged files: their cached post-suppression findings are reused
+    and their cached :meth:`Checker.module_summary` values replayed via
+    :meth:`Checker.consume_summary`, so cross-module ``finalize`` passes
+    still see the whole project.  The caller is responsible for only
+    passing a cache when the checker selection matches the one the cache
+    was built with (the CLI keys the cache to full-rule runs).
     """
     selected = [c for c in checkers if rules is None or c.rule in rules]
     findings: List[Finding] = []
     contexts_seen = 0
     for path in iter_python_files(root):
+        relpath = path.relative_to(root).as_posix()
+        if cache is not None:
+            entry = cache.lookup(path, relpath)
+            if entry is not None:
+                findings.extend(Finding.from_dict(d) for d in entry["findings"])
+                summaries = entry["summaries"]
+                for checker in selected:
+                    if checker.rule in summaries:
+                        checker.consume_summary(relpath, summaries[checker.rule])
+                continue
         ctx, parse_err = load_module(root, path)
         if parse_err is not None:
             findings.append(parse_err)
             continue
         assert ctx is not None
         contexts_seen += 1
+        module_findings: List[Finding] = []
+        module_summaries: Dict[str, Any] = {}
         for checker in selected:
             if not checker.interested(ctx):
                 continue
             for f in checker.check_module(ctx):
                 if not ctx.suppressed(f.rule, f.line):
-                    findings.append(f)
+                    module_findings.append(f)
+            summary = checker.module_summary(ctx)
+            if summary is not None:
+                module_summaries[checker.rule] = summary
+        findings.extend(module_findings)
+        if cache is not None:
+            cache.store(path, relpath, module_findings, module_summaries)
     # Whole-project passes (suppressions were applied per-module by the
     # checkers via ctx.suppressed where relevant; finalize findings are
     # synthesized from cross-module state and carry their own locations).

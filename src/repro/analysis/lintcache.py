@@ -1,0 +1,162 @@
+"""Incremental lint cache: skip re-analysing unchanged files.
+
+``repro-udt lint`` re-parses and re-checks every module on every run,
+which is wasteful in the common edit loop where one file changed.  This
+module caches, per analysed file, the post-suppression findings and the
+per-checker :meth:`repro.analysis.core.Checker.module_summary` facts, so
+an unchanged file costs one ``stat`` instead of a parse plus six rules.
+
+Safety model — a hit requires *all* of:
+
+* the cache schema version matches;
+* ``analysis_sha`` matches: a digest over the analysis package itself
+  plus the seed files rules read contracts from (the event catalog, the
+  bus kinds, ``PARAM_UNITS``, ``API_UNITS``).  Editing any rule or any
+  contract invalidates everything — stale findings are worse than a
+  cold cache;
+* the file's ``(size, mtime_ns)`` matches, or — when only the mtime
+  moved (checkout, touch) — its content SHA-256 matches.
+
+Cross-module checkers (``event-schema``) still see cached files through
+the summary-replay protocol in :func:`repro.analysis.core.run_checkers`.
+The cache only serves full-rule runs; ``--rule``-filtered and
+``--no-cache`` runs bypass it entirely.  The file lives at
+``analysis/.lintcache.json`` in the source checkout and is gitignored —
+it is a derived artifact, never reviewed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.core import Finding
+
+CACHE_SCHEMA = 1
+
+#: Files (relative to the analysed package root) whose content feeds the
+#: rules themselves rather than being merely *checked* — contract seeds.
+#: The whole ``analysis/`` package is always included.
+_SEED_FILES = (
+    "obs/catalog.py",
+    "obs/bus.py",
+    "udt/params.py",
+    "sim/engine.py",
+)
+
+
+def analysis_sha(pkg_root: Path) -> str:
+    """Digest of the analysis code + contract seed files under ``pkg_root``."""
+    h = hashlib.sha256()
+    paths: List[Path] = sorted((pkg_root / "analysis").glob("*.py"))
+    paths.extend(
+        pkg_root / rel for rel in _SEED_FILES if (pkg_root / rel).is_file()
+    )
+    for p in paths:
+        h.update(p.name.encode())
+        h.update(p.read_bytes())
+    return h.hexdigest()
+
+
+def _file_sha(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+class ModuleCache:
+    """Per-file findings + summaries keyed by (size, mtime_ns, sha256)."""
+
+    def __init__(self, path: Path, analysis_digest: str):
+        self.path = path
+        self.analysis_digest = analysis_digest
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._seen: Dict[str, Dict[str, Any]] = {}
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            data.get("schema") == CACHE_SCHEMA
+            and data.get("analysis_sha") == analysis_digest
+            and isinstance(data.get("files"), dict)
+        ):
+            self._entries = data["files"]
+
+    def lookup(self, path: Path, relpath: str) -> Optional[Dict[str, Any]]:
+        """Cached {"findings": [...], "summaries": {...}} or None (stale)."""
+        entry = self._entries.get(relpath)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            st = path.stat()
+        except OSError:
+            self.misses += 1
+            return None
+        if entry.get("size") != st.st_size:
+            self.misses += 1
+            return None
+        if entry.get("mtime_ns") != st.st_mtime_ns:
+            # mtime moved but size matched — fall back to content identity
+            # (branch switches and `touch` shouldn't evict the whole cache).
+            if entry.get("sha") != _file_sha(path):
+                self.misses += 1
+                return None
+            entry = dict(entry, mtime_ns=st.st_mtime_ns)
+        self.hits += 1
+        self._seen[relpath] = entry
+        return entry
+
+    def store(
+        self,
+        path: Path,
+        relpath: str,
+        findings: List[Finding],
+        summaries: Dict[str, Any],
+    ) -> None:
+        try:
+            st = path.stat()
+        except OSError:
+            return
+        self._seen[relpath] = {
+            "size": st.st_size,
+            "mtime_ns": st.st_mtime_ns,
+            "sha": _file_sha(path),
+            "findings": [f.to_dict() for f in findings],
+            "summaries": summaries,
+        }
+
+    def save(self) -> None:
+        """Atomically persist every entry seen this run (stale ones drop)."""
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "kind": "lint.cache",
+            "analysis_sha": self.analysis_digest,
+            "files": self._seen,
+        }
+        tmp = self.path.with_suffix(".json.tmp")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(
+                json.dumps(payload, separators=(",", ":")) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, self.path)
+        except OSError:  # pragma: no cover - cache is best-effort
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+
+def open_cache(repo: Optional[Path], pkg_root: Path) -> Optional[ModuleCache]:
+    """The checkout's cache, or None when not running from a checkout."""
+    if repo is None:
+        return None
+    return ModuleCache(
+        repo / "analysis" / ".lintcache.json", analysis_sha(pkg_root)
+    )

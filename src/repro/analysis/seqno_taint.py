@@ -1,0 +1,317 @@
+"""seqno-taint: dataflow-tracked arithmetic safety for wrap-around seqnos.
+
+UDT sequence numbers live in a 31-bit circular space (paper §4 and the
+loss-list appendix): ``a < b`` and ``b - a`` are meaningless near the
+wrap, which is exactly where they pass every test and then corrupt a
+multi-terabyte transfer in hour nine.  All ordering, distance and
+successor logic must go through :mod:`repro.udt.seqno`
+(``seq_cmp``/``seq_off``/``seq_len``/``seq_inc``/``seq_dec``/``valid_seq``).
+
+This rule supersedes the purely syntactic ``seqno-arith`` of PR 3.  That
+checker only recognised operands whose *name* looked sequence-like; it
+lost the value the moment it was copied::
+
+    hole = seq_inc(self.lrsn)   # plainly a sequence number...
+    if hole < pkt.seq:          # ...invisible to a name heuristic
+
+Built on :mod:`repro.analysis.flow`, this rule *tracks* seqno-ness:
+
+* **seeds** — names/attributes containing ``seq`` (minus the helper and
+  constant exclusions) or known aliases (``lrsn``), plus the return
+  values of ``seq_inc``/``seq_dec`` (which *are* sequence numbers);
+* **sanitizers** — ``seq_cmp``/``seq_off``/``seq_len`` return plain
+  signed distances and ``valid_seq`` a bool, so their results are clean;
+* **propagation** — through local assignments, tuple unpacking,
+  ``self.attr`` stores (a module-level fixpoint taints attributes and
+  same-module helper returns, so taint survives method boundaries) and
+  collection membership.
+
+Flagged: comparison (``<`` ``>`` ``<=`` ``>=`` ``==`` ``!=``) and
+additive arithmetic (``+`` ``-``) where either operand carries taint.
+Equality of two in-range seqnos is wrap-safe but still flagged — a
+reader cannot tell a safe identity check from an ordering bug at a
+glance, so the deliberate ones carry ``# lint: disable=seqno-taint``
+with a justification.
+
+Scope: ``repro/udt/`` and ``repro/sabul/`` only.  ``repro/udt/seqno.py``
+implements the helpers and is excluded; ``repro/tcp/`` numbers packets
+with unbounded Python ints that never wrap (see its module docstrings).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.core import Checker, Finding, ModuleContext
+from repro.analysis.flow import (
+    State,
+    TaintTracker,
+    assign_pairs,
+    iter_functions,
+    var_key,
+)
+
+RULE = "seqno-taint"
+
+TAINT: FrozenSet[str] = frozenset({"seq"})
+
+#: variable/attribute names that are sequence numbers without "seq" in them.
+_SEQ_ALIASES = frozenset({"lrsn"})
+
+#: names that merely *contain* "seq" but are not circular sequence values.
+_NOT_SEQ = frozenset(
+    {
+        "seq_cmp",
+        "seq_off",
+        "seq_len",
+        "seq_inc",
+        "seq_dec",
+        "valid_seq",
+        "sequence",  # prose-ish identifiers
+        # Space-size constants: `w & (MAX_SEQ_NO - 1)` is a bitmask, not
+        # sequence arithmetic.  A real seq value on the other side of an
+        # operator still triggers the rule on its own.
+        "MAX_SEQ_NO",
+        "SEQ_THRESHOLD",
+    }
+)
+
+#: helpers whose *result* is a sequence number (successor/predecessor).
+_SEQ_RETURNING = frozenset({"seq_inc", "seq_dec"})
+
+#: helpers whose result is a plain int/bool — they sanitize their inputs.
+_SANITIZERS = frozenset({"seq_cmp", "seq_off", "seq_len", "valid_seq"})
+
+_FLAGGED_CMPOPS = (ast.Lt, ast.Gt, ast.LtE, ast.GtE, ast.Eq, ast.NotEq)
+_FLAGGED_BINOPS = (ast.Add, ast.Sub)
+
+
+def _name_is_seqlike(name: str) -> bool:
+    if name in _NOT_SEQ:
+        return False
+    low = name.lower()
+    return "seq" in low or low in _SEQ_ALIASES
+
+
+def _callee_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _describe(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)  # py3.9+
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return "<expr>"
+
+
+class _SeqTaint(TaintTracker):
+    """Taint semantics shared by the module fixpoint and per-function pass."""
+
+    def __init__(self, tainted_attrs: Set[str], tainted_funcs: Set[str]):
+        self._attrs = tainted_attrs
+        self._funcs = tainted_funcs
+
+    def atom_labels(self, node: ast.AST, state: State) -> FrozenSet[str]:
+        if isinstance(node, ast.Name):
+            return TAINT if _name_is_seqlike(node.id) else frozenset()
+        if isinstance(node, ast.Attribute):
+            if _name_is_seqlike(node.attr) or node.attr in self._attrs:
+                return TAINT
+        return frozenset()
+
+    def call_labels(
+        self, node: ast.Call, arg_labels: List[FrozenSet[str]], state: State
+    ) -> FrozenSet[str]:
+        name = _callee_name(node)
+        if name in _SANITIZERS:
+            return frozenset()
+        if name in _SEQ_RETURNING or name in self._funcs:
+            return TAINT
+        # Unknown calls come back clean: cross-module helpers returning
+        # seqnos should land in tainted *targets* (seq-like names) anyway,
+        # and an open-world "tainted" default would drown the rule in noise.
+        return frozenset()
+
+    def binop_labels(
+        self, node: ast.BinOp, left: FrozenSet[str], right: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        # Projections out of the circular space sanitize: `seq % k` is a
+        # phase in [0, k), `seq & mask` a bit bucket — plain ints whose
+        # ordering and arithmetic are meaningful.  Add/Sub keep the taint
+        # (seq + 1 is still a seqno, and the raw form is the bug).
+        if isinstance(node.op, (ast.Mod, ast.FloorDiv, ast.BitAnd, ast.RShift)):
+            return frozenset()
+        return left | right
+
+
+def _module_facts(tree: ast.AST) -> Tuple[Set[str], Set[str]]:
+    """Flow-insensitive fixpoint: tainted self-attrs + helper return taint.
+
+    ``self.foo = seq_inc(x)`` taints attribute ``foo`` module-wide; a
+    same-module function whose any ``return`` is tainted taints its call
+    sites.  Monotone over finite name sets, so the loop terminates.
+    """
+    attrs: Set[str] = set()
+    funcs: Set[str] = set()
+    assigns: List[Tuple[str, ast.expr]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target, value in assign_pairs(node.targets, node.value):
+                key = var_key(target)
+                if key is not None and key.startswith("self.") and value is not None:
+                    assigns.append((key[len("self."):], value))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            key = var_key(node.target)
+            if key is not None and key.startswith("self."):
+                assigns.append((key[len("self."):], node.value))
+    returns: List[Tuple[str, ast.expr]] = []
+    for _cls, fn in iter_functions(tree):
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Return) and node.value is not None:
+                returns.append((fn.name, node.value))
+    while True:
+        tracker = _SeqTaint(attrs, funcs)
+        changed = False
+        for attr, value in assigns:
+            if attr in attrs or _name_is_seqlike(attr):
+                continue
+            if tracker.eval_expr(value, {}):
+                attrs.add(attr)
+                changed = True
+        for fname, value in returns:
+            if fname in funcs or fname in _SANITIZERS:
+                continue
+            if tracker.eval_expr(value, {}):
+                funcs.add(fname)
+                changed = True
+        if not changed:
+            return attrs, funcs
+
+
+class SeqnoTaintChecker(Checker):
+    rule = RULE
+    description = (
+        "dataflow-tracked </>/+/-/== on values derived from wrap-around "
+        "sequence numbers; use repro.udt.seqno helpers (seq_cmp/seq_off/...)"
+    )
+
+    def interested(self, ctx: ModuleContext) -> bool:
+        rp = ctx.relpath
+        if rp == "udt/seqno.py":
+            return False
+        return rp.startswith("udt/") or rp.startswith("sabul/")
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        attrs, funcs = _module_facts(ctx.tree)
+        tracker = _SeqTaint(attrs, funcs)
+        findings: List[Finding] = []
+        scopes: List[ast.AST] = [ctx.tree]
+        scopes.extend(
+            n for n in ast.walk(ctx.tree) if isinstance(n, ast.ClassDef)
+        )
+        scopes.extend(fn for _cls, fn in iter_functions(ctx.tree))
+        for scope in scopes:
+            cfg, in_states = tracker.analyse(scope)
+            for node in cfg.stmt_nodes():
+                state = in_states.get(node.idx)
+                if state is None:
+                    continue  # unreachable statement
+                findings.extend(
+                    self._flag_stmt(ctx, tracker, node.stmt, state)
+                )
+        return findings
+
+    def _flag_stmt(
+        self,
+        ctx: ModuleContext,
+        tracker: _SeqTaint,
+        stmt: ast.stmt,
+        state: State,
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in _own_exprs(stmt):
+            if isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for op, left, right in zip(node.ops, operands, operands[1:]):
+                    if not isinstance(op, _FLAGGED_CMPOPS):
+                        continue
+                    hit = next(
+                        (
+                            e
+                            for e in (left, right)
+                            if tracker.eval_expr(e, state)
+                        ),
+                        None,
+                    )
+                    if hit is None:
+                        continue
+                    findings.append(
+                        ctx.finding(
+                            RULE,
+                            node,
+                            f"raw {type(op).__name__} comparison on "
+                            f"{_origin(hit)} {_describe(hit)!r}; use "
+                            "seq_cmp/valid_seq (wrap-around space)",
+                        )
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, _FLAGGED_BINOPS
+            ):
+                hit = next(
+                    (
+                        e
+                        for e in (node.left, node.right)
+                        if tracker.eval_expr(e, state)
+                    ),
+                    None,
+                )
+                if hit is not None:
+                    findings.append(
+                        ctx.finding(
+                            RULE,
+                            node,
+                            f"raw {type(node.op).__name__} arithmetic on "
+                            f"{_origin(hit)} {_describe(hit)!r}; use "
+                            "seq_off/seq_inc/seq_dec/seq_len "
+                            "(wrap-around space)",
+                        )
+                    )
+        return findings
+
+
+def _origin(node: ast.AST) -> str:
+    """Was the operand itself seq-named, or tainted by dataflow?"""
+    if isinstance(node, ast.Name) and _name_is_seqlike(node.id):
+        return "sequence number"
+    if isinstance(node, ast.Attribute) and _name_is_seqlike(node.attr):
+        return "sequence number"
+    return "sequence-derived value"
+
+
+def _own_exprs(stmt: ast.stmt) -> Iterable[ast.AST]:
+    """Expressions belonging to this statement, not to nested blocks.
+
+    Nested statements get their own CFG node (with the right IN state);
+    nested function bodies get their own CFG entirely.
+    """
+    todo: List[ast.AST] = []
+    for fieldname, value in ast.iter_fields(stmt):
+        if fieldname in ("body", "orelse", "finalbody", "handlers"):
+            continue
+        if isinstance(value, ast.AST):
+            todo.append(value)
+        elif isinstance(value, list):
+            todo.extend(v for v in value if isinstance(v, ast.AST))
+    seen: List[ast.AST] = []
+    while todo:
+        node = todo.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        seen.append(node)
+        todo.extend(ast.iter_child_nodes(node))
+    return seen

@@ -31,7 +31,7 @@
                                     # re-encode between trace formats
     repro-udt report t.jsonl        # loss-forensics report from a trace
     repro-udt lint                  # protocol-invariant static analysis
-                                    # over the repro tree (seqno-arith,
+                                    # over the repro tree (seqno-taint,
                                     # sansio-purity, event-schema,
                                     # vtime-determinism) gated against
                                     # analysis/baseline.json
@@ -40,6 +40,10 @@
                                     # experiment runs twice with perturbed
                                     # tie-breaking and hash seeds, traces
                                     # must be byte-identical
+    repro-udt conform t.rtrc        # event-order conformance: the trace
+                                    # is checked against the protocol
+                                    # model statically extracted from
+                                    # udt/core.py guard structure
 
 ``REPRO_SCALE`` (default 0.3) scales experiment durations; set it to 1
 for the paper's published durations.
@@ -478,9 +482,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="protocol-invariant static analysis (and optional determinism "
         "sanitizer) over the repro tree; see docs/ANALYSIS.md",
     )
-    from repro.analysis.cli import add_lint_arguments
+    from repro.analysis.cli import add_conform_arguments, add_lint_arguments
 
     add_lint_arguments(lintp)
+
+    confp = sub.add_parser(
+        "conform",
+        help="check recorded traces against the statically-extracted "
+        "protocol model (analysis/protocol_model.json); see docs/ANALYSIS.md",
+    )
+    add_conform_arguments(confp)
 
     args = parser.parse_args(argv)
 
@@ -506,6 +517,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis.cli import run_lint
 
         return run_lint(args, lintp)
+    if args.cmd == "conform":
+        from repro.analysis.cli import run_conform
+
+        return run_conform(args, confp)
     return _cmd_run(args, parser)
 
 

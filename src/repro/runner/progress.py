@@ -49,6 +49,43 @@ HEARTBEAT = "sweep.heartbeat"
 
 Emit = Callable[[str], None]
 
+# ---------------------------------------------------------------------------
+# Cross-thread contract, machine-checked by the ``thread-shared-state``
+# lint rule (repro.analysis.threads).  The ProgressReporter daemon thread
+# (_loop -> sample -> _frame_processed) may READ exactly these reporter
+# attributes; everything else it touches is a lint finding.  Keep these in
+# sync when the sampler grows: the point is that the diff to this list is
+# the review surface for new cross-thread traffic.
+# ---------------------------------------------------------------------------
+
+#: reporter attributes the daemon thread may read (shared with the main
+#: thread; scalar snapshots or intentionally thread-safe objects).
+THREAD_SHARED_READS = frozenset(
+    {
+        "exp_id",
+        "interval",
+        "_out",
+        "_lock",
+        "_cur_sim",
+        "_cur_until",
+        "_events_done",
+        "_t0",
+        "_stop",
+        "_run_code",
+    }
+)
+
+#: attributes only the daemon thread itself touches (read *and* write).
+THREAD_OWNED = frozenset({"_last"})
+
+#: attributes holding live foreign objects (the running Simulator);
+#: locals aliasing them are dataflow-tracked by the rule.
+THREAD_SHARED_OBJECTS = frozenset({"_cur_sim"})
+
+#: the only attributes the thread may read on such a foreign object —
+#: ``Simulator.now`` is a plain float slot, racy-read safe by design.
+THREAD_SHARED_OBJECT_READS = frozenset({"now"})
+
 
 def default_progress_path(cache_dir: Optional[Path] = None) -> Path:
     """Where ``sweep --progress`` writes its feed: ``<cache>/progress.jsonl``."""

@@ -43,7 +43,7 @@ class SabulCC(CongestionControl):
         self.window = float(static_window)
         self.last_rc_time = 0.0
         # None until the first decrease (avoids raw sentinel comparison
-        # on a wrap-around sequence value; see the seqno-arith lint rule).
+        # on a wrap-around sequence value; see the seqno-taint lint rule).
         self.last_dec_seq: Optional[int] = None
         self.period = 1e-6
         self.slow_start = True  # ramp like UDT until the first loss

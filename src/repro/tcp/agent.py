@@ -9,7 +9,7 @@ RTO with exponential backoff and Karn's rule.
 Sequence numbers here are plain unbounded Python integers compared with
 raw ``<``/``>``/``-`` — by design.  Unlike UDT's 31-bit wrapping space
 (``repro.udt.seqno``), NS-2-style TCP never wraps, so ordinary integer
-arithmetic is exact and the ``seqno-arith`` lint rule deliberately
+arithmetic is exact and the ``seqno-taint`` lint rule deliberately
 excludes ``repro/tcp/`` from its scope (see docs/ANALYSIS.md).
 """
 

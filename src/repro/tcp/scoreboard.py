@@ -3,7 +3,7 @@
 Packet sequence numbers are plain monotone integers here (TCP in this
 simulator never wraps: Python ints), so raw ``<``/``>``/``-`` comparisons
 are exact by design and the scoreboard is a set of sorted disjoint ranges
-plus loss/retransmission marks.  This is why the ``seqno-arith`` lint
+plus loss/retransmission marks.  This is why the ``seqno-taint`` lint
 rule scopes itself to ``repro/udt/`` and ``repro/sabul/`` (the 31-bit
 wrapping spaces) and excludes ``repro/tcp/`` — see docs/ANALYSIS.md.
 ``pipe`` — consulted for every transmission decision — is kept O(1) by

@@ -193,7 +193,7 @@ class ReceiveBuffer:
             return False  # no room — dropped as if the NIC queue overflowed
         # Speculation: the receiver always guesses the largest-seen + 1.
         # Identity (not ordering) of two in-range seqs is wrap-safe.
-        if seq == self._speculated:  # lint: disable=seqno-arith
+        if seq == self._speculated:  # lint: disable=seqno-taint
             self.speculation_hits += 1
         else:
             self.speculation_misses += 1

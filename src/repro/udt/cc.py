@@ -149,7 +149,7 @@ class UdtNativeCC(CongestionControl):
         self.slow_start = True
         self.last_dec_period = self.period
         # None until the first decrease (a -1 sentinel would need raw
-        # integer comparison, which seqno-arith forbids on seq values).
+        # integer comparison, which seqno-taint forbids on seq values).
         self.last_dec_seq: Optional[int] = None
         self.last_rc_time = 0.0
         self.last_ack_seq = 0

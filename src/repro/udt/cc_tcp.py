@@ -39,7 +39,7 @@ class TcpOverUdtCC(CongestionControl):
         self.period = 0.0  # purely window-limited, like TCP
         self.last_ack_seq = 0
         # None until the first decrease (avoids raw sentinel comparison
-        # on a wrap-around sequence value; see the seqno-arith lint rule).
+        # on a wrap-around sequence value; see the seqno-taint lint rule).
         self.last_dec_seq: Optional[int] = None
         self._rtt_mark = 0
 

@@ -420,6 +420,11 @@ class UdtCore:
 
     # -- sender-side control input ----------------------------------------
     def _on_ack(self, ack: P.Ack) -> None:
+        # Pre-handshake control packets (reordered, duplicated or stray)
+        # must not touch sender state; this guard also lets the protocol
+        # model prove every SND_ACK/CC_SAMPLE emit happens connected.
+        if not self.connected:
+            return
         self.stats.acks_received += 1
         if self.meter is not None:
             self.meter.on_ctrl("ack")
@@ -457,6 +462,8 @@ class UdtCore:
         self._ensure_send_scheduled()
 
     def _on_nak(self, nak: P.Nak) -> None:
+        if not self.connected:
+            return
         self.stats.naks_received += 1
         if self.meter is not None:
             self.meter.on_ctrl("nak")
@@ -613,7 +620,7 @@ class UdtCore:
         ack_seq = first_hole if first_hole is not None else seq_inc(self.lrsn)
         # Identity (not ordering) of two in-range seqs is wrap-safe: this
         # only suppresses a duplicate ACK, never orders the space.
-        if ack_seq == self._last_ack_seq_sent and self._data_since_ack == 0:  # lint: disable=seqno-arith
+        if ack_seq == self._last_ack_seq_sent and self._data_since_ack == 0:  # lint: disable=seqno-taint
             return
         self._data_since_ack = 0
         self._last_ack_seq_sent = ack_seq
@@ -658,6 +665,8 @@ class UdtCore:
         self.stats.acks_sent += 1
 
     def _on_ack2(self, ack2: P.Ack2) -> None:
+        if not self.connected:
+            return
         entry = self._ack_window.pop(ack2.ack_no, None)
         if entry is None:
             return

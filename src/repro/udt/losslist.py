@@ -18,6 +18,12 @@ by the Figure 9 ablation benchmark.
 
 from __future__ import annotations
 
+# This module IS the wrap handling: every internal comparison and
+# addition runs on the unwrapped monotone absolute axis built by
+# _Unwrapper (see module docstring), where raw int arithmetic is the
+# point.  Boundary crossings go through seq_off/valid_seq/to_seq.
+# lint: disable-file=seqno-taint
+
 from bisect import bisect_left, bisect_right
 from typing import Iterator, List, Optional, Tuple
 

@@ -9,8 +9,11 @@ from repro.analysis.baseline import compare, load_baseline, write_baseline
 from repro.analysis.core import Finding, default_root, repo_root, run_checkers
 from repro.analysis.event_schema import EventSchemaChecker
 from repro.analysis.sanitizer import Divergence, SanitizerResult, diff_traces
+from repro.analysis.lintcache import ModuleCache
 from repro.analysis.sansio import SansioPurityChecker
-from repro.analysis.seqno_arith import SeqnoArithChecker
+from repro.analysis.seqno_taint import SeqnoTaintChecker
+from repro.analysis.threads import ThreadSharedStateChecker
+from repro.analysis.units import UnitsChecker
 from repro.analysis.vtime import VtimeDeterminismChecker
 
 
@@ -50,25 +53,27 @@ def test_rule_ids_cover_all_checkers():
     assert sorted(rule_ids()) == [
         "event-schema",
         "sansio-purity",
-        "seqno-arith",
+        "seqno-taint",
+        "thread-shared-state",
+        "units",
         "vtime-determinism",
     ]
 
 
-# -- seqno-arith ----------------------------------------------------------
+# -- seqno-taint ----------------------------------------------------------
 
 
-def test_seqno_arith_flags_raw_compare(tmp_path):
+def test_seqno_taint_flags_raw_compare(tmp_path):
     root = _tree(
         tmp_path,
         {"udt/x.py": "def f(a_seq, b_seq):\n    return a_seq < b_seq\n"},
     )
-    findings = run_checkers(root, [SeqnoArithChecker()])
-    assert _rules(findings) == ["seqno-arith"]
+    findings = run_checkers(root, [SeqnoTaintChecker()])
+    assert _rules(findings) == ["seqno-taint"]
     assert "seq_cmp" in findings[0].message
 
 
-def test_seqno_arith_flags_raw_arith_and_aliases(tmp_path):
+def test_seqno_taint_flags_raw_arith_and_aliases(tmp_path):
     root = _tree(
         tmp_path,
         {
@@ -80,25 +85,63 @@ def test_seqno_arith_flags_raw_arith_and_aliases(tmp_path):
             )
         },
     )
-    findings = run_checkers(root, [SeqnoArithChecker()])
-    assert _rules(findings) == ["seqno-arith", "seqno-arith"]
+    findings = run_checkers(root, [SeqnoTaintChecker()])
+    assert _rules(findings) == ["seqno-taint", "seqno-taint"]
 
 
-def test_seqno_arith_scope_excludes_tcp_and_seqno_module(tmp_path):
+def test_seqno_taint_tracks_through_assignment(tmp_path):
+    """The dataflow upgrade over PR 3's name heuristic: copying a seqno
+    into an innocently-named local must not launder it."""
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "def f(self, limit):\n"
+                "    hole = seq_inc(self.lrsn)\n"
+                "    if hole < limit:\n"
+                "        return hole\n"
+                "    return None\n"
+            )
+        },
+    )
+    findings = run_checkers(root, [SeqnoTaintChecker()])
+    assert _rules(findings) == ["seqno-taint"]
+    assert "sequence-derived value" in findings[0].message
+    assert "hole" in findings[0].message
+
+
+def test_seqno_taint_sanitizers_and_projections_clear_taint(tmp_path):
+    """seq_cmp/seq_off/seq_len/valid_seq results are plain ints/bools,
+    and % / // / & / >> project out of the circular space."""
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "def f(a_seq, b_seq, w):\n"
+                "    d = seq_off(a_seq, b_seq)\n"
+                "    phase = a_seq % 16\n"
+                "    return d > 0, phase + w, d + 1\n"
+            )
+        },
+    )
+    assert run_checkers(root, [SeqnoTaintChecker()]) == []
+
+
+def test_seqno_taint_scope_excludes_tcp_and_seqno_module(tmp_path):
     src = "def f(a_seq, b_seq):\n    return a_seq - b_seq\n"
     root = _tree(
         tmp_path,
         {"tcp/x.py": src, "udt/seqno.py": src, "obs/x.py": src},
     )
-    assert run_checkers(root, [SeqnoArithChecker()]) == []
+    assert run_checkers(root, [SeqnoTaintChecker()]) == []
 
 
-def test_seqno_arith_ignores_space_size_constants(tmp_path):
+def test_seqno_taint_ignores_space_size_constants(tmp_path):
     root = _tree(
         tmp_path,
         {"udt/x.py": "def f(w, MAX_SEQ_NO):\n    return w & (MAX_SEQ_NO - 1)\n"},
     )
-    assert run_checkers(root, [SeqnoArithChecker()]) == []
+    assert run_checkers(root, [SeqnoTaintChecker()]) == []
 
 
 def test_line_suppression(tmp_path):
@@ -107,11 +150,11 @@ def test_line_suppression(tmp_path):
         {
             "udt/x.py": (
                 "def f(a_seq, b_seq):\n"
-                "    return a_seq == b_seq  # lint: disable=seqno-arith\n"
+                "    return a_seq == b_seq  # lint: disable=seqno-taint\n"
             )
         },
     )
-    assert run_checkers(root, [SeqnoArithChecker()]) == []
+    assert run_checkers(root, [SeqnoTaintChecker()]) == []
 
 
 def test_file_suppression(tmp_path):
@@ -119,7 +162,7 @@ def test_file_suppression(tmp_path):
         tmp_path,
         {
             "udt/x.py": (
-                "# lint: disable-file=seqno-arith\n"
+                "# lint: disable-file=seqno-taint\n"
                 "def f(a_seq, b_seq):\n"
                 "    return a_seq < b_seq\n"
                 "def g(a_seq, b_seq):\n"
@@ -127,7 +170,45 @@ def test_file_suppression(tmp_path):
             )
         },
     )
-    assert run_checkers(root, [SeqnoArithChecker()]) == []
+    assert run_checkers(root, [SeqnoTaintChecker()]) == []
+
+
+def test_suppression_spans_multiline_statement(tmp_path):
+    """A disable on any physical line of a multi-line *simple* statement
+    covers the whole statement — the finding anchors to the expression's
+    first line, which need not be the line carrying the comment."""
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "def f(a_seq, b_seq, c_seq):\n"
+                "    return (\n"
+                "        a_seq\n"
+                "        < b_seq  # lint: disable=seqno-taint\n"
+                "        < c_seq\n"
+                "    )\n"
+            )
+        },
+    )
+    assert run_checkers(root, [SeqnoTaintChecker()]) == []
+
+
+def test_suppression_does_not_span_compound_statement(tmp_path):
+    """On a compound statement header the disable stays exact-line: it
+    must not blanket the whole suite under an `if`/`def`."""
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "def f(a_seq, b_seq):  # lint: disable=seqno-taint\n"
+                "    if a_seq < b_seq:\n"
+                "        return 1\n"
+                "    return 0\n"
+            )
+        },
+    )
+    findings = run_checkers(root, [SeqnoTaintChecker()])
+    assert _rules(findings) == ["seqno-taint"]
 
 
 def test_rule_filter(tmp_path):
@@ -141,18 +222,260 @@ def test_rule_filter(tmp_path):
             )
         },
     )
-    both = run_checkers(root, [SeqnoArithChecker(), SansioPurityChecker()])
-    assert sorted(_rules(both)) == ["sansio-purity", "seqno-arith"]
+    both = run_checkers(root, [SeqnoTaintChecker(), SansioPurityChecker()])
+    assert sorted(_rules(both)) == ["sansio-purity", "seqno-taint"]
     only = run_checkers(
-        root, [SeqnoArithChecker(), SansioPurityChecker()], rules=["seqno-arith"]
+        root, [SeqnoTaintChecker(), SansioPurityChecker()], rules=["seqno-taint"]
     )
-    assert _rules(only) == ["seqno-arith"]
+    assert _rules(only) == ["seqno-taint"]
 
 
 def test_parse_error_is_a_finding(tmp_path):
     root = _tree(tmp_path, {"udt/x.py": "def f(:\n"})
-    findings = run_checkers(root, [SeqnoArithChecker()])
+    findings = run_checkers(root, [SeqnoTaintChecker()])
     assert _rules(findings) == ["parse-error"]
+
+
+# -- units ----------------------------------------------------------------
+
+
+def test_units_flags_mixed_addition(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "def f(rtt_us, syn_period):\n    return rtt_us + syn_period\n"
+            )
+        },
+    )
+    findings = run_checkers(root, [UnitsChecker()])
+    assert _rules(findings) == ["units"]
+    assert "[us]" in findings[0].message and "[s]" in findings[0].message
+
+
+def test_units_flags_mixed_comparison_through_alias(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "def f(self, flight_window):\n"
+                "    limit = self.buf_bytes\n"
+                "    return flight_window > limit\n"
+            )
+        },
+    )
+    findings = run_checkers(root, [UnitsChecker()])
+    assert _rules(findings) == ["units"]
+    assert "[pkts]" in findings[0].message and "[bytes]" in findings[0].message
+
+
+def test_units_conversion_and_unknowns_stay_quiet(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "def f(rtt_us, syn_period, k):\n"
+                "    rtt = rtt_us / 1e6\n"
+                "    return rtt + syn_period + k\n"
+            )
+        },
+    )
+    assert run_checkers(root, [UnitsChecker()]) == []
+
+
+def test_units_flags_scheduler_arg(tmp_path):
+    root = _tree(
+        tmp_path,
+        {"udt/x.py": "def f(sim, rtt_us):\n    sim.call_at(rtt_us)\n"},
+    )
+    findings = run_checkers(root, [UnitsChecker()])
+    assert _rules(findings) == ["units"]
+    assert "call_at() expects [s]" in findings[0].message
+
+
+def test_units_flags_emit_payload_against_catalog(tmp_path):
+    # cc.decrease declares window:pkts in the catalog; a bytes-typed
+    # expression in that slot is the cross-check's finding.
+    root = _tree(
+        tmp_path,
+        {
+            "udt/x.py": (
+                "def f(bus, t, flight_bytes):\n"
+                '    bus.emit("cc.decrease", t, "s", trigger="nak",'
+                " window=flight_bytes)\n"
+            )
+        },
+    )
+    findings = run_checkers(root, [UnitsChecker()])
+    assert _rules(findings) == ["units"]
+    assert "declared [pkts]" in findings[0].message
+
+
+# -- thread-shared-state --------------------------------------------------
+
+_THREAD_DECLS = (
+    'THREAD_SHARED_READS = frozenset({"_interval", "_cur_sim"})\n'
+    'THREAD_OWNED = frozenset({"_last"})\n'
+    'THREAD_SHARED_OBJECTS = frozenset({"_cur_sim"})\n'
+    'THREAD_SHARED_OBJECT_READS = frozenset({"now"})\n'
+)
+
+
+def test_thread_missing_allowlist_is_a_finding(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "runner/x.py": (
+                "import threading\n"
+                "class R:\n"
+                "    def start(self):\n"
+                "        threading.Thread(target=self._run).start()\n"
+                "    def _run(self):\n"
+                "        pass\n"
+            )
+        },
+    )
+    findings = run_checkers(root, [ThreadSharedStateChecker()])
+    assert _rules(findings) == ["thread-shared-state"]
+    assert "THREAD_SHARED_READS" in findings[0].message
+
+
+def test_thread_undeclared_read_and_write(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "runner/x.py": (
+                "import threading\n" + _THREAD_DECLS + "class R:\n"
+                "    def start(self):\n"
+                "        threading.Thread(target=self._run).start()\n"
+                "    def _run(self):\n"
+                "        x = self._secret\n"
+                "        self._count = 1\n"
+                "        self._last = 2\n"
+            )
+        },
+    )
+    findings = run_checkers(root, [ThreadSharedStateChecker()])
+    msgs = " | ".join(f.message for f in findings)
+    assert len(findings) == 2
+    assert "self._secret" in msgs and "self._count" in msgs
+
+
+def test_thread_shared_object_alias_mutation(tmp_path):
+    # The alias is what the dataflow framework buys: `sim` is a plain
+    # local, but it carries the shared-object label from self._cur_sim.
+    root = _tree(
+        tmp_path,
+        {
+            "runner/x.py": (
+                "import threading\n" + _THREAD_DECLS + "class R:\n"
+                "    def start(self):\n"
+                "        threading.Thread(target=self._run).start()\n"
+                "    def _run(self):\n"
+                "        sim = self._cur_sim\n"
+                "        t = sim.now\n"
+                "        sim.step()\n"
+            )
+        },
+    )
+    findings = run_checkers(root, [ThreadSharedStateChecker()])
+    assert _rules(findings) == ["thread-shared-state"]
+    assert ".step" in findings[0].message
+
+
+def test_thread_main_thread_methods_unconstrained(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "runner/x.py": (
+                "import threading\n" + _THREAD_DECLS + "class R:\n"
+                "    def start(self):\n"
+                "        threading.Thread(target=self._run).start()\n"
+                "        self.anything = 1\n"
+                "    def _run(self):\n"
+                "        return self._interval\n"
+            )
+        },
+    )
+    assert run_checkers(root, [ThreadSharedStateChecker()]) == []
+
+
+# -- incremental cache ----------------------------------------------------
+
+
+def test_cache_serves_identical_findings(tmp_path):
+    root = _tree(
+        tmp_path / "src",
+        {"udt/x.py": "def f(a_seq, b_seq):\n    return a_seq < b_seq\n"},
+    )
+    c1 = ModuleCache(tmp_path / "cache.json", "digest0")
+    first = run_checkers(root, [SeqnoTaintChecker()], cache=c1)
+    c1.save()
+    assert (c1.hits, c1.misses) == (0, 1) and _rules(first) == ["seqno-taint"]
+    c2 = ModuleCache(tmp_path / "cache.json", "digest0")
+    second = run_checkers(root, [SeqnoTaintChecker()], cache=c2)
+    assert (c2.hits, c2.misses) == (1, 0)
+    assert second == first
+
+
+def test_cache_invalidated_by_content_change(tmp_path):
+    root = _tree(
+        tmp_path / "src",
+        {"udt/x.py": "def f(a_seq, b_seq):\n    return a_seq < b_seq\n"},
+    )
+    c1 = ModuleCache(tmp_path / "cache.json", "digest0")
+    run_checkers(root, [SeqnoTaintChecker()], cache=c1)
+    c1.save()
+    (root / "udt" / "x.py").write_text(
+        "def f(a_seq, b_seq):\n    return seq_cmp(a_seq, b_seq)\n"
+    )
+    c2 = ModuleCache(tmp_path / "cache.json", "digest0")
+    second = run_checkers(root, [SeqnoTaintChecker()], cache=c2)
+    assert (c2.hits, c2.misses) == (0, 1)
+    assert second == []
+
+
+def test_cache_invalidated_by_analysis_digest(tmp_path):
+    # New checker code (a changed analysis digest) must drop the cache
+    # wholesale — stale findings from an older rule version are worse
+    # than a cold run.
+    root = _tree(
+        tmp_path / "src",
+        {"udt/x.py": "def f(a_seq, b_seq):\n    return a_seq < b_seq\n"},
+    )
+    c1 = ModuleCache(tmp_path / "cache.json", "digest0")
+    run_checkers(root, [SeqnoTaintChecker()], cache=c1)
+    c1.save()
+    c2 = ModuleCache(tmp_path / "cache.json", "digest1")
+    run_checkers(root, [SeqnoTaintChecker()], cache=c2)
+    assert (c2.hits, c2.misses) == (0, 1)
+
+
+def test_cache_replays_summaries_for_cross_module_finalize(tmp_path):
+    """A fully-cached run must still produce event-schema's cross-module
+    finding: consumptions replay through module summaries into finalize."""
+    root = _tree(
+        tmp_path / "src",
+        {
+            "udt/x.py": (
+                "def f(bus, t):\n"
+                '    bus.emit("cc.decrease", t, "s", trigger="nak")\n'
+            ),
+            "obs/report.py": (
+                "def g(rec, kind):\n"
+                '    if kind == "cc.decrease":\n'
+                '        return rec["window"]\n'
+            ),
+        },
+    )
+    c1 = ModuleCache(tmp_path / "cache.json", "d")
+    first = run_checkers(root, [EventSchemaChecker()], cache=c1)
+    c1.save()
+    assert any("no emit site produces" in f.message for f in first)
+    c2 = ModuleCache(tmp_path / "cache.json", "d")
+    second = run_checkers(root, [EventSchemaChecker()], cache=c2)
+    assert (c2.hits, c2.misses) == (2, 0)
+    assert any("no emit site produces" in f.message for f in second)
 
 
 # -- sansio-purity --------------------------------------------------------
@@ -571,7 +894,7 @@ def test_cli_lint_detects_new_finding(tmp_path, capsys):
     )
     rc = main(["--root", str(tmp_path), "--baseline", str(tmp_path / "b.json")])
     out = capsys.readouterr().out
-    assert rc == 1 and "seqno-arith" in out and "1 new" in out
+    assert rc == 1 and "seqno-taint" in out and "1 new" in out
 
 
 def test_cli_write_baseline_then_gate(tmp_path, capsys):

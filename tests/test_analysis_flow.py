@@ -1,0 +1,300 @@
+"""Tests for the CFG + forward dataflow framework (repro.analysis.flow)."""
+
+import ast
+import textwrap
+
+from repro.analysis.flow import (
+    TaintTracker,
+    assign_pairs,
+    build_cfg,
+    join_states,
+    var_key,
+)
+
+
+def _fn(src):
+    return ast.parse(textwrap.dedent(src)).body[0]
+
+
+def _node(cfg, snippet):
+    """The unique stmt node whose source starts with ``snippet``."""
+    hits = [
+        n
+        for n in cfg.stmt_nodes()
+        if ast.unparse(n.stmt).startswith(snippet)
+    ]
+    assert len(hits) == 1, (snippet, [ast.unparse(n.stmt) for n in hits])
+    return hits[0]
+
+
+# -- CFG shapes -----------------------------------------------------------
+
+
+def test_cfg_if_else_diamond():
+    cfg = build_cfg(
+        _fn(
+            """
+            def f(x):
+                a = 1
+                if x:
+                    b = 2
+                else:
+                    c = 3
+                d = 4
+            """
+        )
+    )
+    head = _node(cfg, "if x:")
+    b = _node(cfg, "b = 2")
+    c = _node(cfg, "c = 3")
+    d = _node(cfg, "d = 4")
+    assert sorted(head.succs) == sorted([b.idx, c.idx])
+    assert sorted(d.preds) == sorted([b.idx, c.idx])
+    assert cfg.exit in cfg.nodes[d.idx].succs
+
+
+def test_cfg_if_without_else_falls_through():
+    cfg = build_cfg(
+        _fn(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                b = 2
+            """
+        )
+    )
+    head = _node(cfg, "if x:")
+    a = _node(cfg, "a = 1")
+    b = _node(cfg, "b = 2")
+    # Both the taken branch and the skip edge reach the join statement.
+    assert sorted(b.preds) == sorted([head.idx, a.idx])
+
+
+def test_cfg_while_back_edge_break_and_exit():
+    cfg = build_cfg(
+        _fn(
+            """
+            def f(x):
+                while x:
+                    x = step(x)
+                    if x:
+                        break
+                done = 1
+            """
+        )
+    )
+    head = _node(cfg, "while x:")
+    body = _node(cfg, "x = step(x)")
+    branch = _node(cfg, "if x:")
+    brk = _node(cfg, "break")
+    done = _node(cfg, "done = 1")
+    assert head.idx in cfg.nodes[body.idx].preds  # loop entry
+    assert branch.idx in cfg.nodes[head.idx].preds  # back edge
+    # Loop exits via the head test or via break, both landing on `done`.
+    assert sorted(done.preds) == sorted([head.idx, brk.idx])
+
+
+def test_cfg_try_edges_every_body_stmt_into_handler():
+    cfg = build_cfg(
+        _fn(
+            """
+            def f(x):
+                try:
+                    a = risky(x)
+                    b = more(a)
+                except ValueError:
+                    h = 1
+                tail = 2
+            """
+        )
+    )
+    a = _node(cfg, "a = risky(x)")
+    b = _node(cfg, "b = more(a)")
+    h = _node(cfg, "h = 1")
+    tail = _node(cfg, "tail = 2")
+    marker = next(n for n in cfg.stmt_nodes() if isinstance(n.stmt, ast.Pass))
+    # Conservative: any body statement may raise into the handler.
+    assert a.idx in marker.preds and b.idx in marker.preds
+    assert marker.idx in cfg.nodes[h.idx].preds
+    assert sorted(tail.preds) == sorted([b.idx, h.idx])
+
+
+def test_cfg_return_terminates_flow_and_unreaches_tail():
+    tracker = TaintTracker()
+    cfg, in_states = tracker.analyse(
+        _fn(
+            """
+            def f(x):
+                return x
+                dead = 1
+            """
+        )
+    )
+    ret = _node(cfg, "return x")
+    dead = _node(cfg, "dead = 1")
+    assert cfg.exit in cfg.nodes[ret.idx].succs
+    assert in_states.get(dead.idx) is None  # no IN state: unreachable
+
+
+# -- taint propagation ----------------------------------------------------
+
+
+class _Tracker(TaintTracker):
+    """Toy semantics: names starting with ``src`` are tainted; ``clean()``
+    sanitizes; any other call passes the union of its argument labels."""
+
+    def atom_labels(self, node, state):
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None and name.startswith("src"):
+            return frozenset({"T"})
+        return frozenset()
+
+    def call_labels(self, node, arg_labels, state):
+        fname = None
+        if isinstance(node.func, ast.Name):
+            fname = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            fname = node.func.attr
+        if fname == "clean":
+            return frozenset()
+        out = frozenset()
+        for labels in arg_labels:
+            out |= labels
+        return out
+
+
+def _in_state_at(src, snippet):
+    cfg, in_states = _Tracker().analyse(_fn(src))
+    return in_states[_node(cfg, snippet).idx]
+
+
+def test_taint_propagates_through_assignment_chain():
+    state = _in_state_at(
+        """
+        def f():
+            a = src_val
+            b = a
+            c = clean(b)
+            d = b + 1
+            end = 0
+        """,
+        "end = 0",
+    )
+    assert state["a"] == state["b"] == frozenset({"T"})
+    assert state["c"] == frozenset()  # sanitized
+    assert state["d"] == frozenset({"T"})  # BinOp unions by default
+
+
+def test_taint_tuple_unpacking_and_augassign():
+    state = _in_state_at(
+        """
+        def f(src_pair):
+            x, y = src_pair
+            a, b = src_val, 1
+            acc = 0
+            acc += src_val
+            end = 0
+        """,
+        "end = 0",
+    )
+    assert state["x"] == state["y"] == frozenset({"T"})
+    assert state["a"] == frozenset({"T"}) and state["b"] == frozenset()
+    assert state["acc"] == frozenset({"T"})
+
+
+def test_taint_joins_at_branch_merge():
+    state = _in_state_at(
+        """
+        def f(cond):
+            x = 1
+            if cond:
+                x = src_val
+            end = 0
+        """,
+        "end = 0",
+    )
+    assert state["x"] == frozenset({"T"})  # union of both paths
+
+
+def test_taint_loop_fixpoint_carries_across_iterations():
+    # y only becomes tainted on the *second* trip around the loop: the
+    # worklist must iterate to a fixpoint, not make one pass.
+    state = _in_state_at(
+        """
+        def f(n):
+            y = 0
+            while n:
+                y = x_prev
+                x_prev = src_val
+            end = 0
+        """,
+        "end = 0",
+    )
+    assert state["y"] == frozenset({"T"})
+
+
+def test_taint_for_target_with_binding_and_self_attrs():
+    state = _in_state_at(
+        """
+        def f(self, src_items, src_obj):
+            for it in src_items:
+                pass
+            with src_obj as s:
+                pass
+            self.cache = src_val
+            v = self.cache
+            end = 0
+        """,
+        "end = 0",
+    )
+    assert state["it"] == frozenset({"T"})
+    assert state["s"] == frozenset({"T"})
+    assert state["self.cache"] == state["v"] == frozenset({"T"})
+
+
+def test_taint_delete_clears_binding():
+    state = _in_state_at(
+        """
+        def f():
+            a = src_val
+            del a
+            end = 0
+        """,
+        "end = 0",
+    )
+    assert "a" not in state
+
+
+# -- helpers --------------------------------------------------------------
+
+
+def test_var_key_shapes():
+    def key_of(src):
+        return var_key(ast.parse(src, mode="eval").body)
+
+    assert key_of("x") == "x"
+    assert key_of("self.attr") == "self.attr"
+    assert key_of("obj.attr") is None  # only self.* pseudo-locals
+    assert key_of("x[0]") is None
+
+
+def test_assign_pairs_parallel_and_broadcast():
+    stmt = ast.parse("a, b = f(), g()").body[0]
+    pairs = assign_pairs(stmt.targets, stmt.value)
+    assert [ast.unparse(t) for t, _ in pairs] == ["a", "b"]
+    assert [ast.unparse(v) for _, v in pairs] == ["f()", "g()"]
+    stmt = ast.parse("a, b = pair").body[0]
+    pairs = assign_pairs(stmt.targets, stmt.value)
+    assert [ast.unparse(v) for _, v in pairs] == ["pair", "pair"]
+
+
+def test_join_states_is_keywise_union():
+    a = {"x": frozenset({"T"})}
+    b = {"x": frozenset({"U"}), "y": frozenset({"T"})}
+    j = join_states(a, b)
+    assert j == {"x": frozenset({"T", "U"}), "y": frozenset({"T"})}
