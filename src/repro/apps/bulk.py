@@ -45,25 +45,66 @@ class UdpBlast:
         self.stop_at = stop
         self.pkts_sent = 0
         self._burst_end = 0.0
-        net.sim.schedule_at(max(start, net.sim.now), self._start_burst)
+        #: Absolute time of the next burst start; None while a burst is ON.
+        #: The fluid tier bounds its analytic spans by this (a burst is a
+        #: CC-relevant boundary the packet engine must be awake for).
+        self._next_on: Optional[float] = max(start, net.sim.now)
+        #: Exact count of this blaster's outstanding engine events — the
+        #: fluid tier's quiet check needs to distinguish "heap holds only
+        #: known source wake-ups" from "a packet is still in flight".
+        self._posts = 1
+        net.sim.schedule_at(self._next_on, self._fire_start)
+        fluid = getattr(net, "fluid", None)
+        if fluid is not None:
+            fluid.register_source(self)
+
+    # Engine events enter through the _fire_* wrappers so the pending
+    # count stays exact; internal transitions call the bare methods.
+    def _fire_start(self) -> None:
+        self._posts -= 1
+        self._start_burst()
+
+    def _fire_tick(self) -> None:
+        self._posts -= 1
+        self._tick()
 
     def _start_burst(self) -> None:
         if self.stop_at is not None and self.net.sim.now >= self.stop_at:
+            self._next_on = None
             return
         self._burst_end = self.net.sim.now + self.on_time
+        self._next_on = None  # ON: the blaster is occupying the network
         self._tick()
 
     def _tick(self) -> None:
         now = self.net.sim.now
         if self.stop_at is not None and now >= self.stop_at:
+            self._next_on = None
             return
         if now >= self._burst_end:
             if self.off_time > 0:
-                self.net.sim.post(self.off_time, self._start_burst)
+                self._next_on = now + self.off_time
+                self._posts += 1
+                self.net.sim.post(self.off_time, self._fire_start)
             else:
                 self._start_burst()
             return
         self.ep.sendto(("blast", self.pkts_sent), self.payload, self.dst)
         self.pkts_sent += 1
         # Fire-and-forget: a tick per packet, never cancelled.
-        self.net.sim.post(self.interval, self._tick)
+        self._posts += 1
+        self.net.sim.post(self.interval, self._fire_tick)
+
+    # -- fluid-tier source protocol (repro.sim.fluid) -------------------
+    def blocking(self) -> bool:
+        """True while a burst is ON (packets entering the network)."""
+        return self._next_on is None and not (
+            self.stop_at is not None and self.net.sim.now >= self.stop_at
+        )
+
+    def next_boundary(self) -> Optional[float]:
+        """Next ON/OFF transition the packet engine must be awake for."""
+        return self._next_on
+
+    def pending_events(self) -> int:
+        return self._posts

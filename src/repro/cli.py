@@ -62,6 +62,12 @@ from repro.experiments.common import traced
 
 
 def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if getattr(args, "fidelity", None):
+        import os
+
+        from repro.sim.fluid import FIDELITY_ENV
+
+        os.environ[FIDELITY_ENV] = args.fidelity
     kwargs = {}
     for item in getattr(args, "overrides", []):
         if "=" not in item:
@@ -144,6 +150,7 @@ def _cmd_sweep(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             trace_format=args.trace_format,
             progress=args.progress,
             progress_path=Path(args.progress_file) if args.progress_file else None,
+            fidelity=args.fidelity,
             emit=print,
         )
     except (KeyError, ValueError) as exc:
@@ -240,13 +247,21 @@ def _cmd_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def build_parser() -> "tuple[argparse.ArgumentParser, dict]":
+    """Build the ``repro-udt`` argument parser.
+
+    Returns ``(parser, subparsers)`` where ``subparsers`` maps each
+    subcommand name to its own ArgumentParser.  The CLI-reference
+    generator (:mod:`repro.analysis.clidoc`) and the docs checker
+    (:mod:`repro.analysis.docscheck`) walk this tree, which is what
+    keeps docs/API.md structurally unable to drift from the real CLI.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-udt",
         description="Reproduce the UDT (SC'04) evaluation tables and figures.",
     )
     sub = parser.add_subparsers(dest="cmd", required=True)
-    sub.add_parser("list", help="list available experiments")
+    listp = sub.add_parser("list", help="list available experiments")
 
     runp = sub.add_parser("run", help="run one experiment (or 'all')")
     runp.add_argument("exp_id", help="experiment id from 'list', or 'all'")
@@ -309,6 +324,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=10,
         metavar="N",
         help="how many categories the printed profile shows (default 10)",
+    )
+    runp.add_argument(
+        "--fidelity",
+        choices=["packet", "hybrid"],
+        default=None,
+        help="simulation tier: 'packet' (every packet an event) or "
+        "'hybrid' (steady bulk-transfer stretches advanced analytically "
+        "by the fluid tier; see docs/SIMULATION.md). Default: inherit "
+        "REPRO_FIDELITY, falling back to packet",
     )
 
     sweepp = sub.add_parser(
@@ -399,6 +423,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="after the sweep, build the static HTML dashboard under "
         "OUT_DIR from the swept results (see 'repro-udt report --html')",
+    )
+    sweepp.add_argument(
+        "--fidelity",
+        choices=["packet", "hybrid"],
+        default=None,
+        help="simulation tier the workers run at (default: inherit "
+        "REPRO_FIDELITY, falling back to packet); hybrid results cache "
+        "under separate digest keys and bench under '<exp>@hybrid' "
+        "(see docs/SIMULATION.md)",
     )
 
     repp = sub.add_parser(
@@ -493,6 +526,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     add_conform_arguments(confp)
 
+    return parser, {
+        "list": listp,
+        "run": runp,
+        "sweep": sweepp,
+        "report": repp,
+        "trace": tracep,
+        "lint": lintp,
+        "conform": confp,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser, subs = build_parser()
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
@@ -512,15 +558,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.cmd == "trace":
         from repro.obs.tracecli import run_trace
 
-        return run_trace(args, tracep)
+        return run_trace(args, subs["trace"])
     if args.cmd == "lint":
         from repro.analysis.cli import run_lint
 
-        return run_lint(args, lintp)
+        return run_lint(args, subs["lint"])
     if args.cmd == "conform":
         from repro.analysis.cli import run_conform
 
-        return run_conform(args, confp)
+        return run_conform(args, subs["conform"])
     return _cmd_run(args, parser)
 
 

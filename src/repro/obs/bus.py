@@ -61,6 +61,12 @@ QUEUE_HIGHWATER = "queue.highwater"
 CPU_CHARGE = "cpu.charge"
 #: A finite simulated flow delivered its last byte: bytes, elapsed.
 FLOW_DONE = "flow.done"
+#: Hybrid tier left the packet engine for an analytic fluid span
+#: (src = "fluid"): flows.
+FLUID_ENTER = "fluid.enter"
+#: Hybrid tier re-entered the packet engine (src = "fluid"):
+#: reason, span, ticks.
+FLUID_EXIT = "fluid.exit"
 
 # -- packet-level detail tier ----------------------------------------------
 # One event per data packet / per link hop: orders of magnitude more

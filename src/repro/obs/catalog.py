@@ -187,6 +187,17 @@ CATALOG: Dict[str, EventSpec] = {
             units="bytes:bytes elapsed:s",
         ),
         _spec(
+            OB.FLUID_ENTER,
+            "hybrid tier left the packet engine for an analytic fluid span",
+            required="flows",
+        ),
+        _spec(
+            OB.FLUID_EXIT,
+            "hybrid tier re-entered the packet engine at a CC boundary",
+            required="reason span ticks",
+            units="span:s",
+        ),
+        _spec(
             OB.PKT_SND,
             "sender emitted a DATA packet",
             required="seq size retx",

@@ -75,6 +75,14 @@ class MetricSpec:
     ledger value.  It is interpreted as an *absolute* delta when
     ``relative`` is False (right for indices near 1.0) and as a fraction
     of the ledger value when True (right for throughputs and counts).
+
+    ``hybrid`` / ``hybrid_tolerance`` define the metric's fidelity
+    contract under the hybrid simulation tier (docs/SIMULATION.md):
+    ``hybrid=False`` marks the metric *undefined* in hybrid mode (it
+    measures packet-level texture the analytic spans smooth away, e.g.
+    oscillation indices) and it is skipped by the hybrid gate;
+    ``hybrid_tolerance`` widens the band used when comparing a hybrid
+    run against a packet reference (``None`` reuses ``tolerance``).
     """
 
     name: str
@@ -82,6 +90,8 @@ class MetricSpec:
     tolerance: float
     relative: bool = False
     description: str = ""
+    hybrid: bool = True
+    hybrid_tolerance: Optional[float] = None
 
     def allowed_delta(self, reference: float) -> float:
         if self.relative:
@@ -155,18 +165,23 @@ _spec(
                 _mean("UDT"),
                 0.02,
                 description="mean Jain index of the UDT sweep",
+                # analytic spans share exactly (Jain -> 1.0); packet runs
+                # oscillate a few percent below
+                hybrid_tolerance=0.08,
             ),
             MetricSpec(
                 "udt_jain_min",
                 _min("UDT"),
                 0.04,
                 description="worst-case UDT Jain index",
+                hybrid_tolerance=0.12,
             ),
             MetricSpec(
                 "tcp_jain_mean",
                 _mean("TCP"),
                 0.05,
                 description="mean Jain index of the TCP sweep",
+                # TCP flows veto fluid spans: packet-level either way
             ),
         ),
     )
@@ -213,6 +228,9 @@ _spec(
                 0.15,
                 relative=True,
                 description="mean UDT stability index (lower is more stable)",
+                # oscillation texture is exactly what fluid spans smooth
+                # away: undefined under the hybrid tier
+                hybrid=False,
             ),
             MetricSpec(
                 "tcp_stability_mean",
@@ -264,6 +282,11 @@ _spec(
                 _max_abs_err_from_1("ratio"),
                 0.10,
                 description="largest |ratio - 1| across the RTT sweep",
+                # the packet engine's long-RTT (>=500 ms) unfairness is a
+                # discrete-feedback effect; analytic spans share max-min
+                # fairly, so the hybrid ratio error collapses towards 0
+                # (0.45 -> 0.01 at scale=1.0): undefined under hybrid
+                hybrid=False,
             ),
             MetricSpec(
                 "ref_flow_mean_mbps",
@@ -271,6 +294,10 @@ _spec(
                 0.10,
                 relative=True,
                 description="mean throughput of the fixed-RTT reference flow",
+                # the reference flow's surplus at long RTT comes from the
+                # same discrete-feedback unfairness the spans idealise
+                # away, so its mean sits up to ~20% below packet runs
+                hybrid_tolerance=0.20,
             ),
             MetricSpec(
                 "var_flow_mean_mbps",
@@ -278,6 +305,7 @@ _spec(
                 0.10,
                 relative=True,
                 description="mean throughput of the variable-RTT flow",
+                hybrid_tolerance=0.20,
             ),
         ),
     )
@@ -324,6 +352,13 @@ _spec(
                 0.25,
                 relative=True,
                 description="number of receiver loss events",
+                # blast ON windows run packet-level in hybrid mode, but
+                # the analytic spans between bursts skip the background
+                # self-congestion losses of a saturated sender, so event
+                # *counts* (and the extreme tail fed by count) sit up to
+                # ~half below packet runs at paper scale; the per-event
+                # shape (loss_mean_pkts) stays tight
+                hybrid_tolerance=0.60,
             ),
             MetricSpec(
                 "loss_max_pkts",
@@ -331,6 +366,7 @@ _spec(
                 0.25,
                 relative=True,
                 description="largest single loss event (packets)",
+                hybrid_tolerance=0.60,
             ),
             MetricSpec(
                 "loss_mean_pkts",
@@ -338,6 +374,7 @@ _spec(
                 0.25,
                 relative=True,
                 description="mean lost packets per event",
+                hybrid_tolerance=0.40,
             ),
         ),
     )
@@ -496,4 +533,21 @@ def tolerances(spec: FigureSpec) -> Dict[str, Dict[str, Any]]:
     return {
         m.name: {"tolerance": m.tolerance, "relative": m.relative}
         for m in spec.metrics
+    }
+
+
+def hybrid_tolerances(spec: FigureSpec) -> Dict[str, Dict[str, Any]]:
+    """Hybrid-tier bands (docs/SIMULATION.md): only hybrid-defined
+    metrics appear, each with its (usually wider) hybrid band."""
+    return {
+        m.name: {
+            "tolerance": (
+                m.hybrid_tolerance
+                if m.hybrid_tolerance is not None
+                else m.tolerance
+            ),
+            "relative": m.relative,
+        }
+        for m in spec.metrics
+        if m.hybrid
     }

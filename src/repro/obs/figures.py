@@ -549,6 +549,57 @@ def ledger_entry(spec: FigureSpec, table: ResultTable, scale: float) -> Dict[str
     }
 
 
+def hybrid_ledger_section(
+    spec: FigureSpec, table: ResultTable, scale: float
+) -> Dict[str, Any]:
+    """A figure entry's ``hybrid`` section: the hybrid-tier snapshot.
+
+    Holds the hybrid run's metrics and the (wider) hybrid tolerance
+    bands from the fidelity contract; only hybrid-defined metrics get a
+    band.  The caller adds ``packet_metrics`` when a same-scale packet
+    reference is available (docs/SIMULATION.md).
+    """
+    from repro.obs.figspec import hybrid_tolerances
+
+    return {
+        "scale": scale,
+        "metrics": {k: round(v, 6) for k, v in compute_metrics(spec, table).items()},
+        "tolerances": hybrid_tolerances(spec),
+    }
+
+
+def hybrid_reference_ledger(
+    ledger: Dict[str, Any], fig_ids: Sequence[str]
+) -> Tuple[Dict[str, Any], List[str]]:
+    """Build the reference :func:`check_fidelity` gates hybrid runs with.
+
+    Per figure the reference metrics are the stored same-scale
+    ``packet_metrics`` when present (the hybrid-vs-packet comparison the
+    fidelity contract documents) and the hybrid snapshot itself
+    otherwise (a plain drift check).  Only metrics with a hybrid band
+    are compared; contract-undefined metrics are dropped here.
+    """
+    figures: Dict[str, Any] = {}
+    problems: List[str] = []
+    for fig_id in fig_ids:
+        entry = ledger.get("figures", {}).get(fig_id, {})
+        section = entry.get("hybrid")
+        if section is None:
+            problems.append(
+                f"{fig_id}: no hybrid ledger section "
+                "(run --update --fidelity hybrid to add one)"
+            )
+            continue
+        tols = section.get("tolerances", {})
+        ref = section.get("packet_metrics") or section.get("metrics", {})
+        figures[fig_id] = {
+            "scale": section.get("scale"),
+            "metrics": {k: ref[k] for k in tols if k in ref},
+            "tolerances": tols,
+        }
+    return {"figures": figures}, problems
+
+
 def _allowed_delta(tol: Dict[str, Any], reference: float) -> float:
     if tol.get("relative"):
         return float(tol.get("tolerance", 0.0)) * abs(reference)
@@ -625,6 +676,7 @@ def resolve_result(
     results_dir: Optional[Path] = None,
     allow_run: bool = True,
     emit: Optional[Any] = None,
+    fidelity: str = "packet",
 ) -> Tuple[Optional[ResultTable], str]:
     """Find (or produce) the experiment's result table at ``scale``.
 
@@ -633,6 +685,10 @@ def resolve_result(
     the cache so the dashboard and later gates reuse it).  Returns
     ``(table, source)`` with source in {"results-dir", "cache", "run"},
     or ``(None, reason)``.
+
+    ``fidelity`` selects the simulation tier (docs/SIMULATION.md); it is
+    part of the cache digest, and an in-process run sets
+    ``REPRO_FIDELITY`` for its duration.
     """
     say = emit if emit is not None else (lambda s: None)
     if results_dir is not None:
@@ -644,7 +700,7 @@ def resolve_result(
     if cache is not None:
         from repro.runner.digest import experiment_digest
 
-        digest, _ = experiment_digest(exp_id, scale)
+        digest, _ = experiment_digest(exp_id, scale, fidelity=fidelity)
         entry = cache.load(digest)
         if entry is not None:
             return _table_from_entry(entry), "cache"
@@ -653,10 +709,13 @@ def resolve_result(
     from dataclasses import asdict
 
     from repro.experiments import get_experiment
+    from repro.sim.fluid import FIDELITY_ENV
 
-    say(f"[figures] running {exp_id} at scale={scale:g} ...")
+    say(f"[figures] running {exp_id} at scale={scale:g} ({fidelity}) ...")
     old = os.environ.get("REPRO_SCALE")
+    old_fid = os.environ.get(FIDELITY_ENV)
     os.environ["REPRO_SCALE"] = format(scale, "g")
+    os.environ[FIDELITY_ENV] = fidelity
     try:
         t0 = time.perf_counter()
         result = get_experiment(exp_id).runner()
@@ -666,6 +725,10 @@ def resolve_result(
             os.environ.pop("REPRO_SCALE", None)
         else:
             os.environ["REPRO_SCALE"] = old
+        if old_fid is None:
+            os.environ.pop(FIDELITY_ENV, None)
+        else:
+            os.environ[FIDELITY_ENV] = old_fid
     say(f"[figures] {exp_id} finished in {seconds:.1f}s")
     if cache is not None and digest is not None:
         cache.store(
@@ -673,6 +736,7 @@ def resolve_result(
             {
                 "exp_id": exp_id,
                 "scale": scale,
+                "fidelity": fidelity,
                 "seconds": seconds,
                 "result": asdict(result),
             },
@@ -699,6 +763,7 @@ def _gather(
     fig_ids: Iterable[str],
     scales: Dict[str, float],
     args: argparse.Namespace,
+    fidelity: str = "packet",
 ) -> Tuple[Dict[str, ResultTable], List[str]]:
     """Resolve result tables for ``fig_ids``; returns (tables, problems)."""
     cache = _cli_cache(args)
@@ -716,11 +781,12 @@ def _gather(
             results_dir=results_dir,
             allow_run=not args.no_run,
             emit=print,
+            fidelity=fidelity,
         )
         if table is None:
             problems.append(f"{fig_id}: {source}")
         else:
-            print(f"[figures] {fig_id}: result from {source}")
+            print(f"[figures] {fig_id}: result from {source} ({fidelity})")
             tables[fig_id] = table
     return tables, problems
 
@@ -787,6 +853,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "$REPRO_CACHE_DIR or .repro-cache)",
     )
     parser.add_argument(
+        "--fidelity",
+        choices=["packet", "hybrid"],
+        default="packet",
+        help="simulation tier to gate/update (docs/SIMULATION.md): "
+        "hybrid compares against each entry's 'hybrid' section using "
+        "the wider hybrid tolerance bands; metrics the fidelity "
+        "contract leaves undefined in hybrid are skipped",
+    )
+    parser.add_argument(
         "--no-run",
         action="store_true",
         help="never run experiments in-process; a figure whose result "
@@ -809,6 +884,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         return _s()
 
+    hybrid = args.fidelity == "hybrid"
     if args.gate or args.update:
         fig_ids = only if only else sorted(ledger["figures"])
         if not fig_ids:
@@ -821,16 +897,62 @@ def main(argv: Optional[List[str]] = None) -> int:
         scales = {}
         for fig_id in fig_ids:
             entry = ledger["figures"].get(fig_id, {})
-            scales[fig_id] = (
-                args.scale
-                if args.scale is not None
-                else float(entry.get("scale", env_scale()))
-            )
-        tables, problems = _gather(fig_ids, scales, args)
+            if args.scale is not None:
+                scales[fig_id] = args.scale
+            elif hybrid and "scale" in entry.get("hybrid", {}):
+                scales[fig_id] = float(entry["hybrid"]["scale"])
+            else:
+                scales[fig_id] = float(entry.get("scale", env_scale()))
+        tables, problems = _gather(fig_ids, scales, args, fidelity=args.fidelity)
+        if args.update and hybrid:
+            # Hybrid sections are additive: the packet entry (metrics,
+            # tolerances, scale) stays authoritative for the packet gate.
+            cache = _cli_cache(args)
+            results_dir = None  # --results entries are hybrid results here
+            for fig_id, table in tables.items():
+                spec = get_spec(fig_id)
+                section = hybrid_ledger_section(spec, table, scales[fig_id])
+                # packet reference at the same scale, cache-only: a run
+                # at paper scale can take hours, so "where feasible"
+                # means "already swept" (docs/SIMULATION.md)
+                p_table, p_source = resolve_result(
+                    fig_id,
+                    scales[fig_id],
+                    cache=cache,
+                    results_dir=results_dir,
+                    allow_run=False,
+                    emit=print,
+                    fidelity="packet",
+                )
+                if p_table is not None:
+                    section["packet_metrics"] = {
+                        k: round(v, 6)
+                        for k, v in compute_metrics(spec, p_table).items()
+                    }
+                    print(
+                        f"[figures] {fig_id}: packet reference from {p_source}"
+                    )
+                else:
+                    print(
+                        f"[figures] {fig_id}: no same-scale packet reference "
+                        "cached; hybrid gate will drift-check against the "
+                        "hybrid snapshot itself"
+                    )
+                entry = ledger["figures"].setdefault(fig_id, {})
+                entry["hybrid"] = section
+                print(f"[figures] {fig_id}: hybrid ledger section updated")
+            for p in problems:
+                print(f"[figures] WARNING: {p}", file=sys.stderr)
+            write_ledger(ledger, ledger_path)
+            print(f"[figures] ledger -> {ledger_path}")
+            return 0 if not problems else 1
         if args.update:
             for fig_id, table in tables.items():
                 spec = get_spec(fig_id)
+                hybrid_section = ledger["figures"].get(fig_id, {}).get("hybrid")
                 ledger["figures"][fig_id] = ledger_entry(spec, table, scales[fig_id])
+                if hybrid_section is not None:
+                    ledger["figures"][fig_id]["hybrid"] = hybrid_section
                 print(f"[figures] {fig_id}: ledger entry updated")
             for p in problems:
                 print(f"[figures] WARNING: {p}", file=sys.stderr)
@@ -841,7 +963,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             fig_id: compute_metrics(get_spec(fig_id), table)
             for fig_id, table in tables.items()
         }
-        failures, lines = check_fidelity(current, ledger, only=fig_ids)
+        if hybrid:
+            reference, ref_problems = hybrid_reference_ledger(ledger, fig_ids)
+            failures, lines = check_fidelity(
+                current, reference, only=sorted(reference["figures"])
+            )
+            failures.extend(ref_problems)
+        else:
+            failures, lines = check_fidelity(current, ledger, only=fig_ids)
         failures.extend(problems)
         for line in lines:
             print(line)
@@ -879,7 +1008,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         for fig_id in fig_ids
     }
-    tables, problems = _gather(fig_ids, scales, args)
+    tables, problems = _gather(fig_ids, scales, args, fidelity=args.fidelity)
     out_dir.mkdir(parents=True, exist_ok=True)
     for fig_id, table in tables.items():
         svg = render_figure(get_spec(fig_id), table)

@@ -29,7 +29,9 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 #: Digest payload schema; bump to invalidate every existing cache entry.
-DIGEST_SCHEMA = 1
+#: v2: the fidelity tier (packet vs hybrid, docs/SIMULATION.md) joined
+#: the payload so the two modes can never alias in the result cache.
+DIGEST_SCHEMA = 2
 
 #: The package whose files participate in digests.
 PKG_NAME = "repro"
@@ -140,13 +142,14 @@ def experiment_digest(
     scale: float,
     overrides: Optional[dict] = None,
     extra_roots: Sequence[str] = (),
+    fidelity: str = "packet",
 ) -> Tuple[str, Dict[str, str]]:
     """Digest for one experiment run.
 
     Returns ``(hex_digest, file_hashes)`` where ``file_hashes`` maps each
     source file (relative to ``src/``) to its content sha256.  Two
-    processes on two machines computing this for the same tree, scale and
-    overrides get the same answer.
+    processes on two machines computing this for the same tree, scale,
+    fidelity tier and overrides get the same answer.
     """
     from repro.experiments import get_experiment
 
@@ -160,6 +163,7 @@ def experiment_digest(
         "schema": DIGEST_SCHEMA,
         "exp_id": exp_id,
         "scale": format(float(scale), "g"),
+        "fidelity": str(fidelity),
         "overrides": _canon_overrides(overrides),
         "files": file_hashes,
     }

@@ -46,6 +46,7 @@ class SweepReport:
     scale: float
     jobs: int
     experiments: List[str]
+    fidelity: str = "packet"
     seconds: float = 0.0
     cached: List[str] = field(default_factory=list)
     executed: List[str] = field(default_factory=list)
@@ -56,8 +57,17 @@ class SweepReport:
 
     @property
     def key(self) -> str:
-        """The entry name this sweep writes under ``sweeps``."""
-        return f"{self.selector}|scale={self.scale:g}|jobs={self.jobs}"
+        """The entry name this sweep writes under ``sweeps``.
+
+        Packet-mode keys keep the historical ``selector|scale|jobs``
+        shape (CI gate baselines reference them); hybrid sweeps get an
+        explicit ``|fidelity=hybrid`` suffix so the two can never be
+        compared against each other by accident.
+        """
+        base = f"{self.selector}|scale={self.scale:g}|jobs={self.jobs}"
+        if self.fidelity != "packet":
+            base += f"|fidelity={self.fidelity}"
+        return base
 
     @property
     def ok(self) -> bool:
@@ -130,8 +140,9 @@ def _worker_cmd(
     return cmd
 
 
-def _worker_env(scale: float) -> Dict[str, str]:
+def _worker_env(scale: float, fidelity: str = "packet") -> Dict[str, str]:
     import repro
+    from repro.sim.fluid import FIDELITY_ENV
 
     src_dir = str(Path(repro.__file__).resolve().parent.parent)
     env = dict(os.environ)
@@ -140,6 +151,7 @@ def _worker_env(scale: float) -> Dict[str, str]:
         src_dir if not existing else src_dir + os.pathsep + existing
     )
     env["REPRO_SCALE"] = format(scale, "g")
+    env[FIDELITY_ENV] = fidelity
     return env
 
 
@@ -152,6 +164,7 @@ def _run_worker(
     trace_packets: bool,
     trace_format: str = "jsonl",
     board: Optional[Any] = None,
+    fidelity: str = "packet",
 ) -> Dict[str, Any]:
     """Execute one experiment in a fresh interpreter; returns its entry.
 
@@ -174,7 +187,7 @@ def _run_worker(
     with open(stderr_path, "w", encoding="utf-8") as err:
         proc = subprocess.Popen(
             cmd,
-            env=_worker_env(scale),
+            env=_worker_env(scale, fidelity),
             stdout=subprocess.PIPE,
             stderr=err,
             text=True,
@@ -215,6 +228,7 @@ def run_sweep(
     trace_format: str = "jsonl",
     progress: bool = False,
     progress_path: Optional[Path] = None,
+    fidelity: Optional[str] = None,
     emit: Optional[Emit] = None,
 ) -> SweepReport:
     """Run (or cache-skip) every selected experiment; returns the report.
@@ -229,8 +243,15 @@ def run_sweep(
     lines and appends every record to ``progress_path`` (default
     ``<cache>/progress.jsonl``), which the dashboard renders as a
     live-run card (docs/OBSERVABILITY.md).
+
+    ``fidelity`` selects the simulation tier every worker runs at
+    (``"packet"`` or ``"hybrid"``; docs/SIMULATION.md).  It defaults to
+    the ambient ``REPRO_FIDELITY``, is part of every experiment digest
+    (so hybrid and packet runs can never alias in the result cache) and,
+    when not packet, suffixes the sweep's ledger key.
     """
     from repro.experiments.common import scale as env_scale
+    from repro.sim.fluid import FIDELITIES, ambient_fidelity
 
     say: Emit = emit if emit is not None else (lambda s: None)
     if jobs < 1:
@@ -241,9 +262,21 @@ def run_sweep(
         )
     if scale is None:
         scale = env_scale()
+    if fidelity is None:
+        fidelity = ambient_fidelity()
+    if fidelity not in FIDELITIES:
+        raise ValueError(
+            f"fidelity must be one of {FIDELITIES}, got {fidelity!r}"
+        )
     selector, ids = select_experiments(only)
     cache = ResultCache(cache_dir)
-    report = SweepReport(selector=selector, scale=scale, jobs=jobs, experiments=ids)
+    report = SweepReport(
+        selector=selector,
+        scale=scale,
+        jobs=jobs,
+        experiments=ids,
+        fidelity=fidelity,
+    )
 
     board = None
     if progress or progress_path is not None:
@@ -261,7 +294,7 @@ def run_sweep(
     t0 = time.perf_counter()
     pending: List[str] = []
     for exp_id in ids:
-        digest, _files = experiment_digest(exp_id, scale)
+        digest, _files = experiment_digest(exp_id, scale, fidelity=fidelity)
         report.digests[exp_id] = digest
         entry = None if (force or trace_dir is not None) else cache.load(digest)
         if entry is not None:
@@ -298,6 +331,7 @@ def run_sweep(
                     trace_packets,
                     trace_format,
                     board,
+                    fidelity,
                 ): exp_id
                 for exp_id in pending
             }
@@ -405,15 +439,18 @@ def update_bench(report: SweepReport, bench_path: Optional[Path] = None) -> Path
     data = _read_bench(path)
     runtimes = data.setdefault("runtimes", {})
     sha = git_sha()
+    # Hybrid timings live under "<exp>@hybrid" so the packet baseline
+    # the regression gate compares against is never overwritten.
+    suffix = "" if report.fidelity == "packet" else f"@{report.fidelity}"
     for exp_id in report.executed:
-        runtimes[exp_id] = {
+        runtimes[exp_id + suffix] = {
             "seconds": round(report.exp_seconds[exp_id], 3),
             "test": "repro-udt sweep",
         }
         # cache hits are skipped: they carry no fresh measurement
         append_history(
             data,
-            exp_id,
+            exp_id + suffix,
             report.exp_seconds[exp_id],
             scale=report.scale,
             source="sweep",
@@ -423,6 +460,7 @@ def update_bench(report: SweepReport, bench_path: Optional[Path] = None) -> Path
     sweeps[report.key] = {
         "experiments": len(report.experiments),
         "jobs": report.jobs,
+        "fidelity": report.fidelity,
         "seconds": round(report.seconds, 3),
         "cached": len(report.cached),
         "digests": dict(report.digests),

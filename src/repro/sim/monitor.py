@@ -40,6 +40,35 @@ class FlowMonitor:
         bins = self._bins[flow]
         bins[b] = bins.get(b, 0) + nbytes
 
+    def credit_span(self, flow: object, t0: float, t1: float, nbytes: int) -> None:
+        """Credit ``nbytes`` of goodput spread uniformly over [t0, t1).
+
+        The fluid tier (repro.sim.fluid) integrates delivery analytically
+        and books the result here instead of per packet.  Bytes are
+        apportioned to bins by exact overlap with cumulative rounding, so
+        the sum credited always equals ``nbytes`` — byte conservation is
+        what the hybrid≡packet equivalence tests lean on.
+        """
+        if nbytes <= 0 or t1 <= t0:
+            return
+        self.first_seen.setdefault(flow, t0)
+        self.total_bytes[flow] += nbytes
+        w = self.bin_width
+        span = t1 - t0
+        b0 = int(math.floor(t0 / w + _EDGE_EPS))
+        b1 = max(b0 + 1, int(math.ceil(t1 / w - _EDGE_EPS)))
+        bins = self._bins[flow]
+        covered = 0.0
+        given = 0
+        for b in range(b0, b1):
+            hi = min(t1, (b + 1) * w)
+            covered += hi - max(t0, b * w)
+            target = nbytes if b == b1 - 1 else int(round(nbytes * covered / span))
+            add = target - given
+            if add:
+                bins[b] = bins.get(b, 0) + add
+                given = target
+
     # -- queries ---------------------------------------------------------
     def flows(self) -> List[object]:
         return list(self.total_bytes)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.sim.engine import Simulator
+from repro.sim.fluid import FluidController, ambient_fidelity
 from repro.sim.link import Link
 from repro.sim.monitor import FlowMonitor
 from repro.sim.node import Host, Node, Router
@@ -44,6 +45,12 @@ class Network:
     phase effects (deterministic two-flow simulations otherwise produce
     wildly distorted RTT-bias results; NS-2's randomised overhead serves
     the same purpose).
+
+    ``fidelity`` selects the simulation tier: ``"packet"`` (every packet
+    an event) or ``"hybrid"`` (steady bulk-transfer stretches advanced
+    analytically by a :class:`~repro.sim.fluid.FluidController`; see
+    docs/SIMULATION.md).  ``None`` reads ``REPRO_FIDELITY``, defaulting
+    to packet.
     """
 
     def __init__(
@@ -51,12 +58,17 @@ class Network:
         sim: Optional[Simulator] = None,
         seed: int = 0,
         default_jitter: float = 0.1,
+        fidelity: Optional[str] = None,
     ):
         self.sim = sim if sim is not None else Simulator(seed=seed)
         self.nodes: Dict[int, Node] = {}
         self.links: Dict[Tuple[int, int], Link] = {}
         self.monitor = FlowMonitor(self.sim)
         self.default_jitter = default_jitter
+        self.fidelity = fidelity if fidelity is not None else ambient_fidelity()
+        self.fluid: Optional[FluidController] = (
+            FluidController(self) if self.fidelity == "hybrid" else None
+        )
         self._next_id = 0
 
     # -- construction ----------------------------------------------------
@@ -107,6 +119,8 @@ class Network:
         return self
 
     def run(self, until: float) -> None:
+        if self.fluid is not None:
+            self.fluid.on_run(until)
         self.sim.run(until=until)
 
 

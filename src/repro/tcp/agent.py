@@ -489,6 +489,11 @@ class TcpFlow:
             (self.flow_id, "arr"), size
         )
         net.sim.schedule_at(max(start, net.sim.now), self.sender.start)
+        # TCP has no fluid model: an active TCP flow vetoes the hybrid
+        # tier's analytic spans on this network.
+        fluid = getattr(net, "fluid", None)
+        if fluid is not None:
+            fluid.register_blocker(lambda: not self.done)
 
     def _on_deliver(self, size: int) -> None:
         self.net.monitor.on_deliver(self.flow_id, size)

@@ -122,6 +122,25 @@ class CongestionControl:
     def on_timeout(self) -> None:
         """Called on an EXP (no-feedback) timeout."""
 
+    # -- fluid (hybrid-tier) hooks ----------------------------------------
+    # The fluid tier (repro.sim.fluid) advances steady bulk-transfer
+    # phases analytically; a controller opts in by implementing these.
+    def fluid_eligible(self) -> bool:
+        """True when the rate law can be iterated without packet events."""
+        return False
+
+    def fluid_tick(self) -> float:
+        """Apply one SYN-interval rate update analytically.
+
+        Must mirror the per-SYN update ``on_ack`` would apply during
+        steady bulk transfer, using the frozen context estimates; returns
+        the new sending rate in packets/s.
+        """
+        raise NotImplementedError
+
+    def fluid_resume(self, rate_pps: float) -> None:
+        """Re-seed packet-mode state after a fluid span at ``rate_pps``."""
+
     # -- observability ----------------------------------------------------
     @property
     def rate_pps(self) -> float:
@@ -217,6 +236,45 @@ class UdtNativeCC(CongestionControl):
         self.period = (period * syn) / (period * inc + syn)
         self.increases += 1
 
+    # -- fluid (hybrid-tier) hooks ----------------------------------------
+    def fluid_eligible(self) -> bool:
+        # Slow start is window-driven (doubles by ack); the fluid model
+        # only covers the post-slow-start rate law.
+        return not self.slow_start
+
+    def fluid_tick(self) -> float:
+        # The exact per-SYN difference equation from on_ack, with the
+        # context estimates (capacity, recv rate) frozen at span entry.
+        # The §4.4 achieved-period correction is skipped: fluid pacing is
+        # ideal by construction.
+        ctx = self.ctx
+        assert ctx is not None, "controller not initialised"
+        syn = self.config.syn
+        mss = self.config.mss
+        capacity = ctx.bandwidth
+        current = 1.0 / self.period
+        if not self.config.bandwidth_estimation or capacity <= 0:
+            inc = 1.0 * (1500.0 / mss)
+        else:
+            if self.period > self.last_dec_period:
+                avail = min(capacity / 9.0, capacity - current)
+            else:
+                avail = capacity - current
+            inc = increase_param(avail * mss * 8.0, mss)
+        self.period = (self.period * syn) / (self.period * inc + syn)
+        self.increases += 1
+        return 1.0 / self.period
+
+    def fluid_resume(self, rate_pps: float) -> None:
+        ctx = self.ctx
+        assert ctx is not None, "controller not initialised"
+        # Window sized for one (SYN+RTT) of flight at the exit rate, as
+        # on_ack would compute once the receiver's rate estimate catches
+        # up; last_rc_time realigns the SYN gate to the resume epoch.
+        if rate_pps > 0:
+            self.window = rate_pps * (self.config.syn + ctx.rtt) + INITIAL_CWND
+        self.last_rc_time = ctx.now()
+
     def _exit_slow_start(self) -> None:
         self.slow_start = False
         ctx = self.ctx
@@ -297,3 +355,11 @@ class FixedAimdCC(UdtNativeCC):
         inc = self.inc_packets * (1500.0 / self.config.mss)
         self.period = (self.period * syn) / (self.period * inc + syn)
         self.increases += 1
+
+    def fluid_tick(self) -> float:
+        # Constant additive increase — the ablation's on_ack law.
+        syn = self.config.syn
+        inc = self.inc_packets * (1500.0 / self.config.mss)
+        self.period = (self.period * syn) / (self.period * inc + syn)
+        self.increases += 1
+        return 1.0 / self.period

@@ -21,6 +21,7 @@ link-capacity estimates that are fed back in every ACK.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Protocol, Tuple
 
@@ -128,6 +129,10 @@ class UdtCore:
         self._freeze_until = 0.0
         self._pair_pending = False
         self._unlimited_source = False
+        # Hybrid-tier gate (repro.sim.fluid): while held, NEW data stays
+        # queued but loss-list retransmissions continue so recovery can
+        # finish and the pipe drain to a quiescent state.
+        self._fluid_hold = False
         self._probe_interval = config.probe_interval  # hot-path cache
         # §4.4: the real inter-send interval (EWMA).  On hosts where one
         # send costs more than the nominal period, the controller must
@@ -149,6 +154,7 @@ class UdtCore:
         self._data_since_ack = 0
         self._speed_ewma = 0.0
         self._syn_timer: Any = None
+        self._syn_deadline = 0.0  # next SYN-tick fire time (fluid re-arm phase)
         self._exp_timer: Any = None
         self._exp_count = 1
         self._last_arrival = scheduler.now()
@@ -214,7 +220,8 @@ class UdtCore:
                 flow_window=hs.flow_window,
                 initiator=self._is_initiator,
             )
-        self._syn_timer = self.sched.call_at(now + self.config.syn, self._on_syn_timer)
+        self._syn_deadline = now + self.config.syn
+        self._syn_timer = self.sched.call_at(self._syn_deadline, self._on_syn_timer)
         self._arm_exp_timer()
         self._ensure_send_scheduled()
 
@@ -295,6 +302,68 @@ class UdtCore:
             self._become_connected(hs)
 
     # ------------------------------------------------------------------
+    # fluid-tier hooks (repro.sim.fluid; no-ops unless a FluidController
+    # drives them — packet-mode behaviour is untouched)
+    # ------------------------------------------------------------------
+    def fluid_hold(self, hold: bool) -> None:
+        """Gate NEW data while the hybrid tier drains the pipe.
+
+        Loss-list retransmissions keep flowing (recovery must complete
+        before a fluid span can start); clearing the hold re-primes the
+        pacing timer.
+        """
+        self._fluid_hold = hold
+        if not hold:
+            self._ensure_send_scheduled()
+
+    def fluid_quiesced(self) -> bool:
+        """True iff this endpoint has no protocol work in flight.
+
+        Sender side: every packet sent is acknowledged and the loss list
+        is empty.  Receiver side: no sequence holes awaiting NAK service.
+        """
+        if not self.connected or self.closed:
+            return False
+        if self.snd_loss.peek() is not None or self.rcv_loss.first() is not None:
+            return False
+        return seq_off(self.snd_last_ack, self.curr_seq) == 0
+
+    def fluid_freeze(self) -> float:
+        """Suspend the periodic SYN/EXP timers for a fluid span.
+
+        Returns the captured SYN deadline; :meth:`fluid_resume` uses it
+        to re-arm the tick grid phase-preserved, so a span must not
+        shift later ACK/NAK times off the deterministic schedule.
+        """
+        for h in (self._syn_timer, self._exp_timer):
+            if h is not None:
+                self.sched.cancel(h)
+        self._syn_timer = self._exp_timer = None
+        return self._syn_deadline
+
+    def fluid_resume(self, rate_pps: float, syn_deadline: float) -> None:
+        """Re-enter packet mode after a fluid span.
+
+        Re-arms the SYN tick on its pre-span phase, resets the EXP
+        machinery as if the peer had just been heard from, and seeds the
+        arrival-speed EWMA with the analytic rate so the first window
+        advertisement after the span matches steady state.
+        """
+        now = self.sched.now()
+        syn = self.config.syn
+        k = math.ceil((now - syn_deadline) / syn - 1e-9)
+        if k < 0:
+            k = 0
+        self._syn_deadline = syn_deadline + k * syn
+        self._syn_timer = self.sched.call_at(self._syn_deadline, self._on_syn_timer)
+        self._last_arrival = now
+        self._exp_count = 1
+        self._arm_exp_timer()
+        if rate_pps > 0:
+            self._speed_ewma = rate_pps
+        self._ensure_send_scheduled()
+
+    # ------------------------------------------------------------------
     # sender half
     # ------------------------------------------------------------------
     def _ensure_send_scheduled(self) -> None:
@@ -367,6 +436,8 @@ class UdtCore:
             self._emit_data(seq, size, data, retransmitted=True)
             return True
         # 2. new data, if the window allows
+        if self._fluid_hold:
+            return False  # hybrid tier is draining the pipe
         seq = self.curr_seq
         if seq_off(last_ack, seq) >= window:
             return False
@@ -609,9 +680,8 @@ class UdtCore:
         expired = self.rcv_loss.expired_ranges(self.sched.now(), rtt)
         if expired:
             self._send_nak(expired)
-        self._syn_timer = self.sched.call_at(
-            self.sched.now() + self.config.syn, self._on_syn_timer
-        )
+        self._syn_deadline = self.sched.now() + self.config.syn
+        self._syn_timer = self.sched.call_at(self._syn_deadline, self._on_syn_timer)
 
     def _send_ack_if_due(self) -> None:
         if self.lrsn is None:

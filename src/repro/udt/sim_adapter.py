@@ -16,7 +16,7 @@ from repro.sim.topology import Network
 from repro.sim.udp import UdpEndpoint
 from repro.udt.cc import CongestionControl, UdtNativeCC
 from repro.udt.core import UdtCore
-from repro.udt.params import UdtConfig
+from repro.udt.params import UDT_HEADER, UdtConfig
 
 
 class SimScheduler:
@@ -41,6 +41,98 @@ class SimScheduler:
 
     def cancel(self, handle: Event) -> None:
         handle.cancel()
+
+
+class _UdtFluidAdapter:
+    """Glue between one :class:`UdtFlow` and the network's fluid tier.
+
+    Implements the adapter protocol documented on
+    :class:`repro.sim.fluid.FluidController`: eligibility/quiescence
+    checks over both endpoint cores, freeze/resume delegation, the
+    analytic rate from the sender's congestion controller, and byte
+    credits booked to the flow monitor under both the goodput key and
+    the sink-arrival key (delivery and arrival coincide in a loss-free
+    fluid span).
+    """
+
+    __slots__ = ("flow", "syn", "wire_bytes", "payload_bytes", "_links", "_accum", "_credited")
+
+    def __init__(self, flow: "UdtFlow", src: Host, dst: Host):
+        self.flow = flow
+        self.syn = flow.config.syn
+        self.payload_bytes = flow.config.payload_size
+        self.wire_bytes = UDT_HEADER + flow.config.payload_size
+        self._links = self._walk_path(src, dst)
+        self._accum = 0.0  # fractional bytes owed to the monitor
+        self._credited = 0
+
+    @staticmethod
+    def _walk_path(src: Host, dst: Host) -> list:
+        links = []
+        node = src
+        while node.id != dst.id:
+            link = node.routes[dst.id]
+            links.append(link)
+            node = link.dst
+        return links
+
+    def eligible(self) -> bool:
+        f = self.flow
+        return (
+            f.nbytes is None
+            and not f.app_driven
+            and not f.done
+            and f.sender.connected
+            and f.receiver.connected
+            and f.sender.cc.fluid_eligible()
+        )
+
+    def quiesced(self) -> bool:
+        return self.flow.sender.fluid_quiesced() and self.flow.receiver.fluid_quiesced()
+
+    def hold(self, hold: bool) -> None:
+        self.flow.sender.fluid_hold(hold)
+
+    def freeze(self):
+        return (self.flow.sender.fluid_freeze(), self.flow.receiver.fluid_freeze())
+
+    def resume(self, state) -> None:
+        snd_deadline, rcv_deadline = state
+        rate = self.rate_pps()
+        self.flow.sender.fluid_resume(rate, snd_deadline)
+        self.flow.receiver.fluid_resume(rate, rcv_deadline)
+        self.flow.sender.cc.fluid_resume(rate)
+
+    def rate_pps(self) -> float:
+        return 1.0 / self.flow.sender.cc.period
+
+    def tick(self) -> float:
+        return self.flow.sender.cc.fluid_tick()
+
+    def links(self) -> list:
+        return self._links
+
+    def drain_delay(self) -> float:
+        # A full control round trip (ACK out, ACK2 back) plus a few SYN
+        # intervals for the last duplicate-suppressed ACK to be skipped.
+        return 2.0 * sum(l.delay for l in self._links) + 4.0 * self.syn
+
+    def credit(self, t0: float, t1: float, nbytes: float) -> None:
+        """Book ``nbytes`` (fractional) of analytic delivery over [t0, t1).
+
+        A running float accumulator against an integer credited total
+        keeps the span-wide sum exact to the floor of the analytic
+        total — byte conservation for the equivalence tests.
+        """
+        self._accum += nbytes
+        total = int(self._accum)
+        add = total - self._credited
+        if add <= 0:
+            return
+        self._credited = total
+        monitor = self.flow.net.monitor
+        monitor.credit_span(self.flow.flow_id, t0, t1, add)
+        monitor.credit_span(self.flow.arrival_flow_id, t0, t1, add)
 
 
 class UdtFlow:
@@ -135,6 +227,10 @@ class UdtFlow:
         arr_key = (self.flow_id, "arr")
         monitor_deliver = net.monitor.on_deliver
         self.receiver.arrival_cb = lambda size: monitor_deliver(arr_key, size)
+
+        fluid = getattr(net, "fluid", None)
+        if fluid is not None:
+            fluid.register_flow(_UdtFluidAdapter(self, src, dst))
 
         net.sim.schedule_at(max(start, net.sim.now), self._begin)
 
